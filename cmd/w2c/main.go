@@ -1,0 +1,66 @@
+// Command w2c compiles a W2 source file for the Warp array and reports
+// the generated microcode and the inter-cell scheduling analysis.
+//
+// Usage:
+//
+//	w2c [-cell] [-iu] [-noopt] [-pipeline] [-cells n] program.w2
+//
+// Without listing flags it prints the compile report: microcode sizes,
+// minimum skew, proven queue occupancy and IU resource usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warp"
+)
+
+func main() {
+	var (
+		showCell = flag.Bool("cell", false, "print the cell microcode listing")
+		showIU   = flag.Bool("iu", false, "print the IU microcode listing")
+		noopt    = flag.Bool("noopt", false, "disable the local optimizer")
+		pipeline = flag.Bool("pipeline", false, "software pipeline innermost loops")
+		cells    = flag.Int("cells", 0, "override the array size")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: w2c [flags] program.w2")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := warp.Compile(string(src), warp.Options{
+		NoOptimize: *noopt,
+		Pipeline:   *pipeline,
+		Cells:      *cells,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := prog.Metrics()
+	fmt.Printf("module %s: %d cells, %d W2 lines\n", m.Name, m.Cells, m.W2Lines)
+	fmt.Printf("  cell ucode: %4d instructions (%d cycles per cell)\n", m.CellInstrs, m.CellCycles)
+	fmt.Printf("  IU ucode:   %4d instructions, %d address registers, %d table words\n",
+		m.IUInstrs, m.IUAddrRegs, m.IUTable)
+	fmt.Printf("  skew: %d cycles between cells; queue occupancy X=%d Y=%d (of 128)\n",
+		m.Skew, m.QueueOccX, m.QueueOccY)
+	fmt.Printf("  optimizer: %d transformations; %d loops software pipelined\n",
+		m.OptCount, m.Pipelined)
+	fmt.Printf("  compile time: %v\n", m.CompileTime)
+	if *showCell {
+		fmt.Println("\ncell microcode:")
+		fmt.Print(prog.CellListing())
+	}
+	if *showIU {
+		fmt.Println("\nIU microcode:")
+		fmt.Print(prog.IUListing())
+	}
+}

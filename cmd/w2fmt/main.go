@@ -1,0 +1,51 @@
+// Command w2fmt pretty-prints W2 source in the canonical layout.
+//
+// Usage:
+//
+//	w2fmt [-w] program.w2 ...
+//
+// Without -w the formatted source goes to stdout; with -w the files are
+// rewritten in place.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warp/internal/w2"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files in place")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: w2fmt [-w] program.w2 ...")
+		os.Exit(2)
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "w2fmt:", err)
+			status = 1
+			continue
+		}
+		m, err := w2.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "w2fmt: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		out := w2.Print(m)
+		if *write {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "w2fmt:", err)
+				status = 1
+			}
+		} else {
+			fmt.Print(out)
+		}
+	}
+	os.Exit(status)
+}

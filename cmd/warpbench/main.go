@@ -1,0 +1,467 @@
+// Command warpbench regenerates every table and figure of the paper's
+// evaluation as text, next to the published values.
+//
+// Usage:
+//
+//	warpbench [-exp name] [-pipeline]
+//
+// Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
+// table6-4, table6-5, table7-1, throughput, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"warp"
+	"warp/internal/commgraph"
+	"warp/internal/interp"
+	"warp/internal/ir"
+	"warp/internal/iugen"
+	"warp/internal/skew"
+	"warp/internal/w2"
+	"warp/internal/workloads"
+)
+
+var pipeline = flag.Bool("pipeline", true, "software pipeline innermost loops in table7-1/throughput")
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate")
+	flag.Parse()
+
+	exps := map[string]func() error{
+		"fig3-1":     fig31,
+		"fig4-2":     fig42,
+		"fig5-1":     fig51,
+		"table6-1":   table61,
+		"table6-2":   table62,
+		"table6-3":   table63,
+		"table6-4":   table64,
+		"table6-5":   table65,
+		"table7-1":   table71,
+		"throughput": throughput,
+		"varskew":    varskew,
+	}
+	names := []string{"fig3-1", "fig4-2", "fig5-1", "table6-1", "table6-2",
+		"table6-3", "table6-4", "table6-5", "table7-1", "throughput", "varskew"}
+
+	run := func(name string) {
+		fmt.Printf("==================== %s ====================\n", name)
+		if err := exps[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "warpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *exp == "all" {
+		for _, n := range names {
+			run(n)
+		}
+		return
+	}
+	if _, ok := exps[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "warpbench: unknown experiment %q (want one of %s, all)\n",
+			*exp, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	run(*exp)
+}
+
+// fig31 compares the SIMD and skewed computation models on the paper's
+// example: a 4-step stage whose step 4 uses the neighbour's step-4
+// result.
+func fig31() error {
+	const stage, cells = 4, 3
+	deps := []skew.StageDep{{Producer: 3, Consumer: 3}}
+	simd := skew.SIMDLatency(stage, deps)
+	skewed := skew.SkewedLatency(stage, deps)
+	fmt.Printf("stage of %d steps, dependence: step 4 -> neighbour's step 4\n\n", stage)
+	fmt.Printf("%-28s %8s %8s\n", "", "SIMD", "skewed")
+	fmt.Printf("%-28s %8d %8d   (paper: 4 vs 1)\n", "latency per cell (cycles)", simd, skewed)
+	fmt.Printf("%-28s %8d %8d\n", "latency through 3 cells",
+		skew.PipelineLatency(cells, simd, stage), skew.PipelineLatency(cells, skewed, stage))
+	fmt.Println("\nstart cycle of data set d on cell c:")
+	fmt.Printf("%6s", "")
+	for d := int64(0); d < 3; d++ {
+		fmt.Printf("   set%d(SIMD) set%d(skew)", d, d)
+	}
+	fmt.Println()
+	for c := int64(0); c < cells; c++ {
+		fmt.Printf("cell %d", c)
+		for d := int64(0); d < 3; d++ {
+			fmt.Printf("   %10d %10d",
+				skew.StageStart(true, c, d, simd, stage),
+				skew.StageStart(false, c, d, skewed, stage))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// fig42 reproduces the polynomial program's communication trace on the
+// first two cells.
+func fig42() error {
+	src := workloads.PolynomialPaper()
+	prog, err := warp.Compile(src, warp.Options{})
+	if err != nil {
+		return err
+	}
+	inputs := map[string][]float64{}
+	z := make([]float64, 100)
+	c := make([]float64, 10)
+	for i := range z {
+		z[i] = float64(i)
+	}
+	for i := range c {
+		c[i] = 100 + float64(i) // c[i] recognizable in the trace
+	}
+	inputs["z"], inputs["c"] = z, c
+	_ = prog
+	mod, err := w2.Parse(src)
+	if err != nil {
+		return err
+	}
+	info, err := w2.Analyze(mod)
+	if err != nil {
+		return err
+	}
+	traces, err := interp.RunTrace(info, inputs, 2, 14)
+	if err != nil {
+		return err
+	}
+	fmt.Println("first communication steps (paper's Figure 4-2; c[i] shown as 100+i):")
+	fmt.Printf("%-28s | %-28s\n", "Cell 0", "Cell 1")
+	max := len(traces[0])
+	if len(traces[1]) > max {
+		max = len(traces[1])
+	}
+	for i := 0; i < max; i++ {
+		left, right := "", ""
+		if i < len(traces[0]) {
+			left = traces[0][i].String()
+		}
+		if i < len(traces[1]) {
+			right = traces[1][i].String()
+		}
+		fmt.Printf("%-28s | %-28s\n", left, right)
+	}
+	return nil
+}
+
+// fig51 analyzes the two programs of Figure 5-1: A passes unrelated
+// data (no communication cycle), B forwards what it receives (a right
+// cycle).
+func fig51() error {
+	progA := `
+module a (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (cid : 0 : 3)
+begin
+    function f
+    begin
+        float v, w;
+        int i;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            w := v * 2.0;
+            send (R, X, w, ys[i]);
+        end;
+    end
+    call f;
+end
+`
+	// In program A each cell's send is data-dependent on its receive —
+	// which IS the paper's program B shape for W2 (receive, then send
+	// the received data).  A W2 program whose send does not depend on
+	// its receive sends locally produced data:
+	progIndep := `
+module indep (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (cid : 0 : 3)
+begin
+    function f
+    begin
+        float v, acc;
+        int i;
+        acc := 1.0;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            acc := acc + 1.0;
+            send (R, X, acc, ys[i]);
+        end;
+    end
+    call f;
+end
+`
+	for _, tc := range []struct{ name, src, note string }{
+		{"program A (independent send)", progIndep, "communication edge completes no cycle"},
+		{"program B (forwards its input)", progA, "right cycle: send depends on receive"},
+	} {
+		mod, err := w2.Parse(tc.src)
+		if err != nil {
+			return err
+		}
+		info, err := w2.Analyze(mod)
+		if err != nil {
+			return err
+		}
+		p, err := ir.Build(info)
+		if err != nil {
+			return err
+		}
+		a := commgraph.Analyze(p)
+		fmt.Printf("%-32s right-cycle=%-5v left-cycle=%-5v mappable=%v  (%s)\n",
+			tc.name, a.RightCycle, a.LeftCycle, a.Mappable(), tc.note)
+	}
+	return nil
+}
+
+func table61() error {
+	p := skew.Fig62()
+	to := p.Times(skew.Output)
+	ti := p.Times(skew.Input)
+	fmt.Printf("%-8s %6s %6s %10s\n", "number", "τ_O", "τ_I", "τ_O-τ_I")
+	maxd := int64(-1 << 62)
+	for n := range to {
+		d := to[n] - ti[n]
+		if d > maxd {
+			maxd = d
+		}
+		fmt.Printf("%-8d %6d %6d %10d\n", n, to[n], ti[n], d)
+	}
+	fmt.Printf("%-8s %6s %6s %10d   (paper: 3)\n", "max", "", "", maxd)
+	fmt.Println("\ntwo cells at the minimum skew (paper's Figure 6-3):")
+	fmt.Print(skew.TwoCellTrace(p, maxd))
+	return nil
+}
+
+func table62() error {
+	p := skew.Fig64()
+	to := p.Times(skew.Output)
+	ti := p.Times(skew.Input)
+	fmt.Printf("%-8s %6s %6s %10s\n", "number", "τ_O", "τ_I", "τ_O-τ_I")
+	maxd := int64(-1 << 62)
+	for n := range to {
+		d := to[n] - ti[n]
+		if d > maxd {
+			maxd = d
+		}
+		fmt.Printf("%-8d %6d %6d %10d\n", n, to[n], ti[n], d)
+	}
+	fmt.Printf("%-8s %6s %6s %10d   (paper: 18)\n", "max", "", "", maxd)
+	return nil
+}
+
+func table63() error {
+	p := skew.Fig64()
+	fmt.Println("characteristic vectors R, N, S, L, T (paper's Table 6-3):")
+	for _, kind := range []skew.Kind{skew.Input, skew.Output} {
+		for _, v := range skew.Statements(p, kind) {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return nil
+}
+
+func table64() error {
+	p := skew.Fig64()
+	fmt.Println("closed-form timing functions and domains (paper's Table 6-4):")
+	for _, kind := range []skew.Kind{skew.Input, skew.Output} {
+		for _, v := range skew.Statements(p, kind) {
+			sym := skew.NewTimingFunc(v).Symbolic()
+			fmt.Printf("  %s(%d): τ(n) = %-34s  [%s]\n", kindLetter(kind), v.ID, sym, sym.DomainString())
+		}
+	}
+	// The §6.2.1 pair analyses.
+	ins := skew.Statements(p, skew.Input)
+	outs := skew.Statements(p, skew.Output)
+	fmt.Println("\npair analyses (§6.2.1):")
+	for _, pc := range []struct {
+		o, i  *skew.Vectors
+		paper string
+	}{
+		{outs[1], ins[0], "disjoint"},
+		{outs[0], ins[0], "completely overlapped, bound 17"},
+		{outs[4], ins[0], "partially overlapped, bound 17+2/3"},
+	} {
+		pb := skew.AnalyzePair(pc.o, pc.i, skew.BoundPaper)
+		if pb.Overlap == skew.Disjoint {
+			fmt.Printf("  O(%d) x I(%d): %-24s              (paper: %s)\n", pc.o.ID, pc.i.ID, pb.Overlap, pc.paper)
+		} else {
+			fmt.Printf("  O(%d) x I(%d): %-24s bound %-6s  (paper: %s)\n", pc.o.ID, pc.i.ID, pb.Overlap, pb.Bound, pc.paper)
+		}
+	}
+	b, _, err := skew.MinSkewBound(p, p, skew.BoundPaper)
+	if err != nil {
+		return err
+	}
+	bt, _, err := skew.MinSkewBound(p, p, skew.BoundTight)
+	if err != nil {
+		return err
+	}
+	exact, err := skew.MinSkewExact(p, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nminimum skew: exact %d; pairwise bound %s (paper mode), %s (tight mode)\n", exact, b, bt)
+	return nil
+}
+
+func kindLetter(k skew.Kind) string {
+	if k == skew.Input {
+		return "I"
+	}
+	return "O"
+}
+
+func table65() error {
+	rows, err := iugen.Table65()
+	if err != nil {
+		return err
+	}
+	fmt.Println("operand allocations for a[i,j+1] and b[i+j,j] (paper's Table 6-5):")
+	fmt.Print(iugen.FormatTable65(rows))
+	fmt.Println("paper:                              3/6/2, 4/2/2, 5/1/3")
+	return nil
+}
+
+// table71 compiles the five sample programs at the paper's sizes.
+func table71() error {
+	paper := map[string][3]int{ // W2 lines, cell µcode, IU µcode
+		"1d-conv":    {59, 69, 72},
+		"binop":      {61, 118, 130},
+		"colorseg":   {67, 477, 509},
+		"mandelbrot": {96, 1709, 1861},
+		"polynomial": {41, 228, 249},
+	}
+	paperTime := map[string]string{
+		"1d-conv": "4m58s", "binop": "5m1s", "colorseg": "version n/a",
+		"mandelbrot": "21m55s", "polynomial": "15m32s",
+	}
+	rows := []struct {
+		name string
+		src  string
+	}{
+		{"1d-conv", workloads.Conv1DPaper()},
+		{"binop", workloads.BinopPaper()},
+		{"colorseg", workloads.ColorSegPaper()},
+		{"mandelbrot", workloads.MandelbrotPaper()},
+		{"polynomial", workloads.PolynomialPaper()},
+	}
+	fmt.Printf("%-12s %9s %11s %9s %13s   %s\n",
+		"name", "W2 lines", "cell µcode", "IU µcode", "compile time", "(paper: lines/cell/IU, time)")
+	for _, r := range rows {
+		start := time.Now()
+		prog, err := warp.Compile(r.src, warp.Options{Pipeline: *pipeline})
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		el := time.Since(start)
+		m := prog.Metrics()
+		p := paper[r.name]
+		fmt.Printf("%-12s %9d %11d %9d %13s   (%d/%d/%d, %s)\n",
+			r.name, m.W2Lines, m.CellInstrs, m.IUInstrs, el.Round(time.Millisecond),
+			p[0], p[1], p[2], paperTime[r.name])
+	}
+	return nil
+}
+
+// throughput reproduces the §2/§7 throughput claims: one result per
+// cycle in the inner loops of 1d-conv and polynomial.  Two problem
+// sizes separate the steady-state cost per result (the initiation
+// interval) from the one-time pipeline-fill and skew latency.
+func throughput() error {
+	type sized struct {
+		src     string
+		results int64
+		in      map[string][]float64
+	}
+	cases := []struct {
+		name  string
+		small sized
+		large sized
+	}{
+		{
+			"polynomial",
+			sized{workloads.Polynomial(10, 100), 100, map[string][]float64{
+				"z": make([]float64, 100), "c": make([]float64, 10)}},
+			sized{workloads.Polynomial(10, 400), 400, map[string][]float64{
+				"z": make([]float64, 400), "c": make([]float64, 10)}},
+		},
+		{
+			"1d-conv",
+			sized{workloads.Conv1D(9, 512), 511, map[string][]float64{
+				"x": make([]float64, 512), "w": make([]float64, 9)}},
+			sized{workloads.Conv1D(9, 2048), 2047, map[string][]float64{
+				"x": make([]float64, 2048), "w": make([]float64, 9)}},
+		},
+	}
+	fmt.Printf("%-12s %-19s %12s %16s   %s\n", "program", "schedule", "cycles", "steady cyc/res",
+		"FPU utilization   (paper: 1 result/cycle, units fully utilized)")
+	for _, tc := range cases {
+		for _, pipe := range []bool{false, true} {
+			run := func(s sized) (int64, *warp.RunStats, error) {
+				prog, err := warp.Compile(s.src, warp.Options{Pipeline: pipe})
+				if err != nil {
+					return 0, nil, err
+				}
+				_, stats, err := prog.Run(s.in)
+				if err != nil {
+					return 0, nil, err
+				}
+				return stats.Cycles, stats, nil
+			}
+			c1, _, err := run(tc.small)
+			if err != nil {
+				return err
+			}
+			c2, st2, err := run(tc.large)
+			if err != nil {
+				return err
+			}
+			marginal := float64(c2-c1) / float64(tc.large.results-tc.small.results)
+			mode := "list-scheduled"
+			if pipe {
+				mode = "software-pipelined"
+			}
+			fmt.Printf("%-12s %-19s %12d %16.2f   add %3.0f%%  mul %3.0f%%\n",
+				tc.name, mode, c2, marginal,
+				100*st2.AddUtilization, 100*st2.MulUtilization)
+		}
+	}
+	return nil
+}
+
+// varskew quantifies the §6.2.1 alternative the paper sketches: varying
+// the skew (delaying each input individually) lowers buffer demand but
+// not latency.  The example is a producer emitting one word every three
+// cycles into a consumer that reads back to back.
+func varskew() error {
+	prog := skew.Build(
+		skew.Rep(50, skew.In()),
+		skew.Rep(50, skew.Out(), skew.Nop(), skew.Nop()),
+	)
+	r, err := skew.VariableSkew(prog, prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cell program: 50 back-to-back reads, then one send per 3 cycles x50\n")
+	fmt.Printf("(the producer dribbles words out while the fixed-skew consumer\n")
+	fmt.Printf(" bunches all its reads late)\n\n")
+	fmt.Print(r.Describe())
+	fmt.Printf("\n(paper, §6.2.1: inserting delays before each input \"may lower the demand\n")
+	fmt.Printf("on the size of the buffers... it does not lead to higher utilization\")\n")
+	// Also show the worked example.
+	p64 := skew.Fig64()
+	r64, err := skew.VariableSkew(p64, p64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFigure 6-4 program for reference:\n%s", r64.Describe())
+	return nil
+}

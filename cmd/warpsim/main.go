@@ -1,0 +1,135 @@
+// Command warpsim compiles a W2 program and executes it on the
+// simulated Warp machine.
+//
+// Usage:
+//
+//	warpsim [-pipeline] [-seed n] [-inputs data.json] [-check] program.w2
+//
+// Inputs are read from a JSON object mapping "in" parameter names to
+// number arrays; missing arrays (or all of them, without -inputs) are
+// filled with seeded random values.  With -check the simulated outputs
+// are compared against the reference interpreter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"warp"
+)
+
+func main() {
+	var (
+		pipeline = flag.Bool("pipeline", false, "software pipeline innermost loops")
+		seed     = flag.Int64("seed", 1, "seed for generated inputs")
+		inPath   = flag.String("inputs", "", "JSON file with input arrays")
+		check    = flag.Bool("check", false, "verify against the reference interpreter")
+		outPath  = flag.String("o", "", "write outputs as JSON to this file (default stdout summary)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: warpsim [flags] program.w2")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := warp.Compile(string(src), warp.Options{Pipeline: *pipeline})
+	if err != nil {
+		fail(err)
+	}
+
+	inputs := map[string][]float64{}
+	if *inPath != "" {
+		data, err := os.ReadFile(*inPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(data, &inputs); err != nil {
+			fail(fmt.Errorf("parsing %s: %w", *inPath, err))
+		}
+	}
+	fillRandom(prog, inputs, *seed)
+
+	out, stats, err := prog.Run(inputs)
+	if err != nil {
+		fail(err)
+	}
+	m := prog.Metrics()
+	fmt.Printf("module %s: %d cells, skew %d, %d cycles, peak queue %d\n",
+		m.Name, m.Cells, m.Skew, stats.Cycles, stats.MaxQueue)
+
+	if *check {
+		want, err := prog.Interpret(inputs)
+		if err != nil {
+			fail(fmt.Errorf("interpreter: %w", err))
+		}
+		for name, w := range want {
+			g := out[name]
+			for i := range w {
+				if !approxEqual(g[i], w[i]) {
+					fail(fmt.Errorf("mismatch: %s[%d] = %v, interpreter says %v", name, i, g[i], w[i]))
+				}
+			}
+		}
+		fmt.Println("check: simulated outputs match the reference interpreter")
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		for name, vals := range out {
+			n := len(vals)
+			if n > 8 {
+				fmt.Printf("%s: %v ... (%d values)\n", name, vals[:8], n)
+			} else {
+				fmt.Printf("%s: %v\n", name, vals)
+			}
+		}
+	}
+}
+
+// fillRandom fills any missing input array with seeded random values
+// of the declared size.
+func fillRandom(prog *warp.Program, inputs map[string][]float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range prog.Params() {
+		if p.Out {
+			continue
+		}
+		if _, ok := inputs[p.Name]; ok {
+			continue
+		}
+		arr := make([]float64, p.Size)
+		for i := range arr {
+			arr[i] = math.Round(rng.Float64()*16-8) / 4
+		}
+		inputs[p.Name] = arr
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "warpsim:", err)
+	os.Exit(1)
+}

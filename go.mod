@@ -1,0 +1,3 @@
+module warp
+
+go 1.22

@@ -1,0 +1,26 @@
+package cellgen
+
+import (
+	"warp/internal/ir"
+	"warp/internal/mcode"
+)
+
+// pipelineLoop attempts to software pipeline an innermost loop whose
+// body is a single basic block: modulo scheduling with modulo variable
+// expansion, in the tradition of the throughput-oriented scheduling
+// work the paper builds on (Patel/Davidson; Rau/Glaeser).  It returns
+// ok=false when the loop shape does not qualify, in which case the
+// caller falls back to a plain counted loop.
+//
+// Implemented in pipeline_modulo.go; this indirection keeps the
+// fallback contract in one place.
+func (g *gen) pipelineLoop(r *ir.LoopRegion) ([]mcode.CodeItem, bool, error) {
+	if len(r.Body) != 1 {
+		return nil, false, nil
+	}
+	br, ok := r.Body[0].(*ir.BlockRegion)
+	if !ok {
+		return nil, false, nil
+	}
+	return g.moduloSchedule(r, br.Block)
+}

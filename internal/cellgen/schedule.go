@@ -1,0 +1,328 @@
+package cellgen
+
+import (
+	"fmt"
+	"sort"
+
+	"warp/internal/ir"
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// This file implements list scheduling of one basic block's dag onto
+// the cell's microinstruction word, followed by temporary-register
+// assignment and instruction emission.
+
+// resultLatency returns the cycles from a node's issue until its result
+// register is readable (0 for operands available at block entry).
+func resultLatency(n *ir.Node) int64 {
+	switch n.Op {
+	case ir.OpConst, ir.OpRead:
+		return 0 // pre-loaded in a dedicated register
+	case ir.OpRecv, ir.OpLoad, ir.OpWrite:
+		return 1
+	case ir.OpFadd, ir.OpFsub, ir.OpFmul, ir.OpFdiv, ir.OpFneg,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpAnd, ir.OpOr, ir.OpNot, ir.OpSelect:
+		return mcode.FPULatency
+	}
+	return 0
+}
+
+// depLatency returns the scheduling distance of an explicit ordering
+// edge.
+func depLatency(from, to *ir.Node) int64 {
+	switch {
+	case from.Op.IsIO() && to.Op.IsIO():
+		return 1 // queue operations on one port stay strictly ordered
+	case from.Op == ir.OpStore:
+		return 1 // a dependent access sees memory one cycle later
+	default:
+		return 0 // anti-dependences may share the cycle
+	}
+}
+
+// needsInstr reports whether the node occupies an instruction field.
+func needsInstr(n *ir.Node) bool {
+	switch n.Op {
+	case ir.OpConst, ir.OpRead:
+		return false
+	}
+	return true
+}
+
+// unit identifies the resource a node occupies.
+type unit int
+
+const (
+	unitNone unit = iota
+	unitAdd
+	unitMul
+	unitMov
+	unitMem
+	unitIO
+)
+
+func unitOf(n *ir.Node) unit {
+	switch n.Op {
+	case ir.OpFadd, ir.OpFsub, ir.OpFneg, ir.OpEq, ir.OpNe, ir.OpLt,
+		ir.OpLe, ir.OpGt, ir.OpGe, ir.OpAnd, ir.OpOr, ir.OpNot,
+		ir.OpSelect:
+		return unitAdd
+	case ir.OpWrite:
+		return unitMov
+	case ir.OpFmul, ir.OpFdiv:
+		return unitMul
+	case ir.OpLoad, ir.OpStore:
+		return unitMem
+	case ir.OpRecv, ir.OpSend:
+		return unitIO
+	}
+	return unitNone
+}
+
+// portKey identifies one queue port.
+type portKey struct {
+	recv bool
+	dir  w2.Direction
+	ch   w2.Channel
+}
+
+func portOf(n *ir.Node) portKey {
+	return portKey{recv: n.Op == ir.OpRecv, dir: n.Dir, ch: n.Chan}
+}
+
+// edge is a scheduling dependence with a minimum issue distance.
+type edge struct {
+	to  *ir.Node
+	lat int64
+}
+
+// blockSchedule is the result of list scheduling one block.
+type blockSchedule struct {
+	block *ir.Block
+	nodes []*ir.Node // scheduled nodes in issue order (needsInstr only)
+	issue map[*ir.Node]int64
+	len   int64 // block length in cycles (max issue + 1)
+}
+
+// buildEdges constructs the scheduling dependence graph of a block:
+// operand edges, explicit ordering edges, and home-register
+// anti-dependences (every consumer of an OpRead must issue no later
+// than the OpWrite that overwrites the scalar's home register).
+func buildEdges(b *ir.Block) map[*ir.Node][]edge {
+	succ := make(map[*ir.Node][]edge)
+	reads := make(map[*w2.Symbol][]*ir.Node)
+	for _, n := range b.Nodes {
+		if n.Op == ir.OpRead {
+			reads[n.Sym] = append(reads[n.Sym], n)
+		}
+	}
+	for _, n := range b.Nodes {
+		for _, a := range n.Args {
+			succ[a] = append(succ[a], edge{to: n, lat: resultLatency(a)})
+		}
+		for _, d := range n.Deps {
+			succ[d] = append(succ[d], edge{to: n, lat: depLatency(d, n)})
+		}
+		if n.Op == ir.OpWrite {
+			// Home-register anti-dependence: the write lands one cycle
+			// after issue, so consumers of the old value must issue no
+			// later than the write.
+			for _, r := range reads[n.Sym] {
+				for _, m := range b.Nodes {
+					if m == n {
+						continue
+					}
+					for _, a := range m.Args {
+						if a == r {
+							succ[m] = append(succ[m], edge{to: n, lat: 0})
+						}
+					}
+				}
+			}
+		}
+	}
+	return succ
+}
+
+// listSchedule schedules the block's nodes cycle by cycle.
+func listSchedule(b *ir.Block) (*blockSchedule, error) {
+	succ := buildEdges(b)
+
+	// Topological order (opt passes may have rewired args out of
+	// creation order).
+	indeg := make(map[*ir.Node]int)
+	for _, n := range b.Nodes {
+		indeg[n] += 0
+		for _, e := range succ[n] {
+			indeg[e.to]++
+		}
+	}
+	var topo []*ir.Node
+	var ready []*ir.Node
+	for _, n := range b.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		topo = append(topo, n)
+		for _, e := range succ[n] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+	}
+	if len(topo) != len(b.Nodes) {
+		return nil, fmt.Errorf("cellgen: dependence cycle in block b%d", b.ID)
+	}
+
+	// Priority: latency-weighted height (critical path to a sink).
+	height := make(map[*ir.Node]int64)
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		var h int64
+		for _, e := range succ[n] {
+			if v := e.lat + height[e.to]; v > h {
+				h = v
+			}
+		}
+		height[n] = h
+	}
+
+	// Earliest start driven by scheduled predecessors.
+	pred := make(map[*ir.Node][]struct {
+		from *ir.Node
+		lat  int64
+	})
+	for n, es := range succ {
+		for _, e := range es {
+			pred[e.to] = append(pred[e.to], struct {
+				from *ir.Node
+				lat  int64
+			}{n, e.lat})
+		}
+	}
+
+	sched := &blockSchedule{block: b, issue: make(map[*ir.Node]int64)}
+	unscheduled := make(map[*ir.Node]bool)
+	for _, n := range b.Nodes {
+		if needsInstr(n) {
+			unscheduled[n] = true
+		} else {
+			sched.issue[n] = 0 // available at block entry
+		}
+	}
+
+	// Resource tables.
+	addBusy := map[int64]bool{}
+	mulBusy := map[int64]bool{}
+	movBusy := map[int64]bool{}
+	memBusy := map[int64]int{}
+	ioBusy := map[int64]map[portKey]bool{}
+
+	earliest := func(n *ir.Node) int64 {
+		var t int64
+		for _, p := range pred[n] {
+			if !needsInstr(p.from) {
+				continue // ready at block entry
+			}
+			it, ok := sched.issue[p.from]
+			if !ok {
+				return -1 // predecessor not scheduled yet
+			}
+			if v := it + p.lat; v > t {
+				t = v
+			}
+		}
+		return t
+	}
+
+	fits := func(n *ir.Node, t int64) bool {
+		switch unitOf(n) {
+		case unitAdd:
+			return !addBusy[t]
+		case unitMul:
+			return !mulBusy[t]
+		case unitMov:
+			return !movBusy[t]
+		case unitMem:
+			return memBusy[t] < mcode.MemPorts
+		case unitIO:
+			m := ioBusy[t]
+			return m == nil || !m[portOf(n)]
+		}
+		return true
+	}
+	take := func(n *ir.Node, t int64) {
+		switch unitOf(n) {
+		case unitAdd:
+			addBusy[t] = true
+		case unitMul:
+			mulBusy[t] = true
+		case unitMov:
+			movBusy[t] = true
+		case unitMem:
+			memBusy[t]++
+		case unitIO:
+			if ioBusy[t] == nil {
+				ioBusy[t] = map[portKey]bool{}
+			}
+			ioBusy[t][portOf(n)] = true
+		}
+	}
+
+	for t := int64(0); len(unscheduled) > 0; t++ {
+		if t > int64(len(b.Nodes))*64+1024 {
+			return nil, fmt.Errorf("cellgen: scheduler did not converge in block b%d", b.ID)
+		}
+		// Candidates ready at cycle t, by priority.
+		var cands []*ir.Node
+		for n := range unscheduled {
+			e := earliest(n)
+			if e >= 0 && e <= t {
+				cands = append(cands, n)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if height[cands[i]] != height[cands[j]] {
+				return height[cands[i]] > height[cands[j]]
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		for _, n := range cands {
+			if fits(n, t) {
+				sched.issue[n] = t
+				take(n, t)
+				delete(unscheduled, n)
+				sched.nodes = append(sched.nodes, n)
+			}
+		}
+	}
+
+	// The block must extend past every in-flight result: a pipelined
+	// write landing after the last issue would otherwise cross into the
+	// next block (or the next loop iteration) and clobber a reused
+	// register there.
+	for _, n := range sched.nodes {
+		end := sched.issue[n] + 1
+		if lat := resultLatency(n); lat > 1 {
+			end = sched.issue[n] + lat
+		}
+		if end > sched.len {
+			sched.len = end
+		}
+	}
+	sort.SliceStable(sched.nodes, func(i, j int) bool {
+		ti, tj := sched.issue[sched.nodes[i]], sched.issue[sched.nodes[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return sched.nodes[i].ID < sched.nodes[j].ID
+	})
+	return sched, nil
+}

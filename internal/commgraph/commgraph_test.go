@@ -1,0 +1,221 @@
+package commgraph
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/ir"
+	"warp/internal/w2"
+)
+
+func buildSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	m, err := w2.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := w2.Analyze(m)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	p, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// TestFig51NoCycle: program A of Figure 5-1 — the sent data is
+// unrelated to the received data, so the communication edge completes
+// no cycle.
+func TestFig51NoCycle(t *testing.T) {
+	p := buildSrc(t, `
+module a (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v, acc;
+        int i;
+        acc := 1.0;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            acc := acc + 1.0;
+            send (R, X, acc, ys[i]);
+        end;
+    end
+    call f;
+end
+`)
+	a := Analyze(p)
+	if a.RightCycle {
+		t.Error("independent send wrongly classified as a right cycle")
+	}
+	if !a.Mappable() || !a.Unidirectional() {
+		t.Error("program A must be mappable and unidirectional")
+	}
+	if err := Check(p, 4); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+// TestFig51RightCycle: program B — each cell sends the data it
+// receives, creating a right cycle (which forces skewing to the right
+// and is fine on its own).
+func TestFig51RightCycle(t *testing.T) {
+	p := buildSrc(t, `
+module b (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v;
+        int i;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            send (R, X, v, ys[i]);
+        end;
+    end
+    call f;
+end
+`)
+	a := Analyze(p)
+	if !a.RightCycle {
+		t.Error("forwarding program must have a right cycle")
+	}
+	if a.LeftCycle {
+		t.Error("no left cycle expected")
+	}
+	if !a.Mappable() {
+		t.Error("a single right cycle is mappable")
+	}
+}
+
+// TestCycleThroughScalarAcrossBlocks: the dependence from receive to
+// send may pass through a scalar carried across basic blocks.
+func TestCycleThroughScalarAcrossBlocks(t *testing.T) {
+	p := buildSrc(t, `
+module b (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v, acc;
+        int i;
+        acc := 0.0;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            acc := acc + v;
+        end;
+        for i := 0 to 7 do
+            send (R, X, acc, ys[i]);
+    end
+    call f;
+end
+`)
+	a := Analyze(p)
+	if !a.RightCycle {
+		t.Error("cycle through the accumulator not detected")
+	}
+}
+
+// TestCycleThroughMemory: the dependence may pass through cell memory.
+func TestCycleThroughMemory(t *testing.T) {
+	p := buildSrc(t, `
+module b (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v;
+        float buf[8];
+        int i;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            buf[i] := v;
+        end;
+        for i := 0 to 7 do
+            send (R, X, buf[i], ys[i]);
+    end
+    call f;
+end
+`)
+	a := Analyze(p)
+	if !a.RightCycle {
+		t.Error("cycle through cell memory not detected")
+	}
+}
+
+// TestBidirectionalRejected: both right and left cycles — not mappable
+// onto the skewed computation model (§5.1.1).
+func TestBidirectionalRejected(t *testing.T) {
+	p := buildSrc(t, `
+module bidi (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v, w;
+        int i;
+        for i := 0 to 7 do begin
+            receive (L, X, v, xs[i]);
+            send (R, X, v);
+            receive (R, Y, w, xs[i]);
+            send (L, Y, w, ys[i]);
+        end;
+    end
+    call f;
+end
+`)
+	a := Analyze(p)
+	if !a.RightCycle || !a.LeftCycle {
+		t.Fatalf("expected both cycles, got %+v", a)
+	}
+	if a.Mappable() {
+		t.Error("both cycles must be unmappable")
+	}
+	err := Check(p, 4)
+	if err == nil || !strings.Contains(err.Error(), "both right and left") {
+		t.Errorf("Check error = %v", err)
+	}
+}
+
+// TestConservationViolationRejected: unbalanced send/receive counts on
+// a channel break homogeneity.
+func TestConservationViolationRejected(t *testing.T) {
+	p := buildSrc(t, `
+module unbal (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (c : 0 : 3)
+begin
+    function f
+    begin
+        float v;
+        int i;
+        for i := 0 to 7 do
+            receive (L, X, v, xs[i]);
+        send (R, X, v, ys[0]);
+    end
+    call f;
+end
+`)
+	err := Check(p, 4)
+	if err == nil || !strings.Contains(err.Error(), "conserve") {
+		t.Errorf("Check error = %v, want conservation failure", err)
+	}
+	// The same program is fine on a single cell.
+	if err := Check(p, 1); err != nil {
+		t.Errorf("single-cell Check: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package driver wires the compiler phases together following the
+// structure of the paper's Figure 6-1: flow analysis builds the central
+// flowgraph data structure; the computation decomposition partitions it
+// between the Warp array, the IU and the host; and the three code
+// generators run in order — array first (it must deliver the
+// computation bandwidth), then the IU under the array's timing
+// constraints, then the host.
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"warp/internal/cellgen"
+	"warp/internal/commgraph"
+	"warp/internal/hostgen"
+	"warp/internal/interp"
+	"warp/internal/ir"
+	"warp/internal/iugen"
+	"warp/internal/mcode"
+	"warp/internal/opt"
+	"warp/internal/sim"
+	"warp/internal/skew"
+	"warp/internal/w2"
+)
+
+// Options control compilation.
+type Options struct {
+	// NoOptimize disables the local optimization passes.
+	NoOptimize bool
+	// Pipeline enables software pipelining of innermost loops.
+	Pipeline bool
+	// Cells overrides the array size declared by the cellprogram.
+	Cells int
+}
+
+// Compiled is the full result of compiling one W2 module.
+type Compiled struct {
+	Module *w2.Module
+	Info   *w2.Info
+	IR     *ir.Program
+
+	// PipelineBackoff reports that software pipelining was requested
+	// but rolled back: the overlapped schedule demanded more address
+	// bandwidth than the IU's registers and table provide ("the IU has
+	// been designed to deliver the average performance required, but
+	// not peak performance", §6.3.2).
+	PipelineBackoff bool
+
+	OptStats opt.Stats
+	Comm     commgraph.Analysis
+
+	Cell    *mcode.CellProgram
+	CellGen *cellgen.Result
+	IU      *mcode.IUProgram
+	IUGen   *iugen.Result
+	Host    *hostgen.Program
+
+	// Timing is the per-channel timed I/O program used by the skew
+	// analysis.
+	Timing map[w2.Channel]*skew.Prog
+	// Skew is the start-time delay between adjacent cells.
+	Skew int64
+	// QueueOcc is the proven per-channel peak queue occupancy.
+	QueueOcc map[w2.Channel]int64
+
+	Cells   int
+	W2Lines int
+}
+
+// Compile runs the whole pipeline on W2 source text.  If software
+// pipelining was requested and the IU cannot feed the overlapped
+// schedule (its sequential table overflows), compilation backs off to
+// the plain schedule.
+func Compile(src string, opts Options) (*Compiled, error) {
+	c, err := compile(src, opts)
+	if err != nil && opts.Pipeline {
+		plain := opts
+		plain.Pipeline = false
+		if c2, err2 := compile(src, plain); err2 == nil {
+			c2.PipelineBackoff = true
+			return c2, nil
+		}
+	}
+	return c, err
+}
+
+func compile(src string, opts Options) (*Compiled, error) {
+	mod, err := w2.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := w2.Analyze(mod)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Module:  mod,
+		Info:    info,
+		IR:      prog,
+		W2Lines: countLines(src),
+	}
+	if !opts.NoOptimize {
+		c.OptStats = opt.Optimize(prog)
+	}
+	c.Cells = mod.Cells.Last - mod.Cells.First + 1
+	if opts.Cells > 0 {
+		c.Cells = opts.Cells
+	}
+	c.Comm = commgraph.Analyze(prog)
+	if err := commgraph.Check(prog, c.Cells); err != nil {
+		return nil, err
+	}
+	if c.Comm.UsesLeftward {
+		return nil, fmt.Errorf("driver: program sends data leftward; this compiler (like its examples) supports rightward flow only")
+	}
+
+	cg, err := cellgen.Generate(prog, cellgen.Options{Pipeline: opts.Pipeline})
+	if err != nil {
+		return nil, err
+	}
+	c.CellGen = cg
+	c.Cell = cg.Cell
+
+	// Inter-cell scheduling: minimum skew and queue occupancy per
+	// channel (§6.2).  A single-cell array has no inter-cell boundary
+	// to synchronize.
+	c.Timing = cellgen.Timing(c.Cell)
+	c.QueueOcc = map[w2.Channel]int64{}
+	if c.Cells > 1 {
+		var maxSkew int64
+		for ch, tp := range c.Timing {
+			s, err := skew.MinSkew(tp, tp)
+			if err != nil {
+				return nil, fmt.Errorf("driver: channel %s: %w", ch, err)
+			}
+			if s > maxSkew {
+				maxSkew = s
+			}
+		}
+		// Addresses and loop signals propagate systolically one cycle
+		// per hop, so multi-cell arrays need a skew of at least one
+		// cycle.
+		if maxSkew < 1 {
+			maxSkew = 1
+		}
+		c.Skew = maxSkew
+		for ch, tp := range c.Timing {
+			occ, err := skew.CheckQueue(tp, tp, c.Skew, mcode.QueueDepth)
+			if err != nil {
+				return nil, fmt.Errorf("driver: channel %s: %w", ch, err)
+			}
+			c.QueueOcc[ch] = occ
+		}
+	}
+
+	iu, err := iugen.Generate(c.Cell)
+	if err != nil {
+		return nil, err
+	}
+	c.IUGen = iu
+	c.IU = iu.IU
+
+	host, err := hostgen.Generate(c.Cell)
+	if err != nil {
+		return nil, err
+	}
+	c.Host = host
+	return c, nil
+}
+
+func countLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the compiled program on the simulated Warp machine.
+func Run(c *Compiled, inputs map[string][]float64) (map[string][]float64, *sim.Stats, error) {
+	hostMem, err := interp.BuildHostMem(c.Info, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := sim.Run(sim.Config{
+		Cells:   c.Cells,
+		Cell:    c.Cell,
+		IU:      c.IU,
+		Host:    c.Host,
+		Skew:    c.Skew,
+		Lead:    c.IUGen.Prologue + 1,
+		HostMem: hostMem,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return interp.ExtractOutputs(c.Info, hostMem), stats, nil
+}
+
+// Run2Interp runs the reference interpreter on a compiled program's
+// analyzed module (convenience for tests and tools).
+func Run2Interp(c *Compiled, inputs map[string][]float64) (map[string][]float64, error) {
+	return interp.Run(c.Info, inputs)
+}

@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"warp/internal/interp"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// compareRun compiles src, runs it on the simulator, and checks the
+// outputs against the reference interpreter.
+func compareRun(t *testing.T, src string, opts Options, inputs map[string][]float64) *Compiled {
+	t.Helper()
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want, err := interp.Run(c.Info, inputs)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	got, _, err := Run(c, inputs)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	for name, w := range want {
+		g := got[name]
+		if len(g) != len(w) {
+			t.Fatalf("output %s: %d values, want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if !approxEqual(g[i], w[i]) {
+				t.Fatalf("output %s[%d] = %v, interpreter says %v", name, i, g[i], w[i])
+			}
+		}
+	}
+	return c
+}
+
+func randArray(rng *rand.Rand, n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = math.Round(rng.Float64()*16-8) / 2
+	}
+	return a
+}
+
+// TestPolynomialEndToEnd compiles and simulates the paper's Figure 4-1
+// program and checks every result against the interpreter (which in
+// turn computes Horner's rule).
+func TestPolynomialEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	inputs := map[string][]float64{
+		"z": randArray(rng, 100),
+		"c": randArray(rng, 10),
+	}
+	c := compareRun(t, readTestdata(t, "polynomial.w2"), Options{}, inputs)
+
+	// Horner ground truth, straight from the math.
+	z, coef := inputs["z"], inputs["c"]
+	got, _, err := Run(c, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range z {
+		want := 0.0
+		for _, cv := range coef {
+			want = want*x + cv
+		}
+		if !approxEqual(got["results"][i], want) {
+			t.Fatalf("results[%d] = %v, want %v", i, got["results"][i], want)
+		}
+	}
+	if c.Cells != 10 {
+		t.Errorf("cells = %d, want 10", c.Cells)
+	}
+	if c.Skew < 1 {
+		t.Errorf("skew = %d, want >= 1", c.Skew)
+	}
+}

@@ -1,0 +1,97 @@
+package driver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warp/internal/workloads"
+)
+
+// TestFFTEndToEnd compiles and simulates the FFT workload and checks
+// the spectrum against a direct DFT.
+func TestFFTEndToEnd(t *testing.T) {
+	for _, n := range []int{8, 32, 64} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := make([]float64, 2*n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		inputs := map[string][]float64{
+			"twid": workloads.FFTTwiddles(n),
+			"x":    x,
+		}
+		for _, opts := range []Options{{}, {Pipeline: true}} {
+			c, err := Compile(workloads.FFT(n), opts)
+			if err != nil {
+				t.Fatalf("n=%d: compile: %v", n, err)
+			}
+			got, _, err := Run(c, inputs)
+			if err != nil {
+				t.Fatalf("n=%d: simulate: %v", n, err)
+			}
+			want := workloads.FFTRef(x)
+			for i := range want {
+				if math.Abs(got["y"][i]-want[i]) > 1e-6*float64(n) {
+					t.Fatalf("n=%d: y[%d] = %v, DFT says %v", n, i, got["y"][i], want[i])
+				}
+			}
+			// And against the interpreter exactly.
+			ref, err := Run2Interp(c, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref["y"] {
+				if !approxEqual(got["y"][i], ref["y"][i]) {
+					t.Fatalf("n=%d: y[%d]: simulator %v vs interpreter %v", n, i, got["y"][i], ref["y"][i])
+				}
+			}
+		}
+	}
+}
+
+// TestFFTPaperSizeCompiles: the 1024-point configuration (the §2
+// headline) compiles; the deep bit-reversal nest exercises 11-level IU
+// induction chains.
+func TestFFTPaperSizeCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c, err := Compile(workloads.FFTPaper(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cell.NumInstrs() == 0 {
+		t.Fatal("no code generated")
+	}
+	// 1024 complex points: 2048 data + 1024 twiddle words of the 4K
+	// cell memory.
+	t.Logf("fft1024: %d cell instrs, %d IU instrs, %d IU regs, %d table words",
+		c.Cell.NumInstrs(), c.IU.NumInstrs(), c.IUGen.AddrRegs, c.IUGen.TableEntries)
+}
+
+// TestFFTPipelineBackoff: at 1024 points the overlapped schedule
+// demands more address bandwidth than the IU's 16 registers and 32K
+// table provide, so a Pipeline request compiles with the plain
+// schedule and reports the backoff.
+func TestFFTPipelineBackoff(t *testing.T) {
+	c, err := Compile(workloads.FFTPaper(), Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PipelineBackoff {
+		t.Error("expected a pipeline backoff at 1024 points")
+	}
+	if c.CellGen.PipelinedLoops != 0 {
+		t.Error("backoff must produce the plain schedule")
+	}
+	// Smaller transforms pipeline without backoff.
+	c, err = Compile(workloads.FFT(64), Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PipelineBackoff || c.CellGen.PipelinedLoops == 0 {
+		t.Errorf("64-point FFT should pipeline cleanly (backoff=%v, loops=%d)",
+			c.PipelineBackoff, c.CellGen.PipelinedLoops)
+	}
+}

@@ -1,0 +1,59 @@
+package driver
+
+import (
+	"warp/internal/workloads"
+
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenListings pins the generated microcode of the paper's
+// polynomial program (both schedules).  The listings are deterministic;
+// a diff here means code generation changed.  Refresh with
+// `go test ./internal/driver -run TestGoldenListings -update`.
+func TestGoldenListings(t *testing.T) {
+	t.Run("polynomial", func(t *testing.T) { goldenFor(t, "polynomial", readTestdata(t, "polynomial.w2")) })
+	t.Run("conv1d", func(t *testing.T) { goldenFor(t, "conv1d", workloads.Conv1D(9, 64)) })
+}
+
+func goldenFor(t *testing.T, name, src string) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"pipelined", Options{Pipeline: true}},
+	} {
+		c, err := Compile(src, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range []struct {
+			suffix, got string
+		}{
+			{"cell", c.Cell.Listing()},
+			{"iu", c.IU.Listing()},
+		} {
+			path := filepath.Join("..", "..", "testdata",
+				name+"."+tc.name+"."+part.suffix+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(part.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if string(want) != part.got {
+				t.Errorf("%s %s listing changed; run with -update if intended.\ngot:\n%s",
+					tc.name, part.suffix, part.got)
+			}
+		}
+	}
+}

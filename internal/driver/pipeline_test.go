@@ -1,0 +1,83 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+
+	"warp/internal/workloads"
+)
+
+// TestPipelinedWorkloads runs every workload with software pipelining
+// enabled and checks the simulated outputs against the reference
+// interpreter (compareRun) — overlapped iterations must not change a
+// single result.
+func TestPipelinedWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name   string
+		src    string
+		inputs map[string][]float64
+	}{
+		{"polynomial", workloads.Polynomial(10, 60), map[string][]float64{
+			"z": randArray(rng, 60), "c": randArray(rng, 10),
+		}},
+		{"conv1d", workloads.Conv1D(9, 64), map[string][]float64{
+			"x": randArray(rng, 64), "w": randArray(rng, 9),
+		}},
+		{"binop", workloads.Binop(12, 10), map[string][]float64{
+			"a": randArray(rng, 120), "b": randArray(rng, 120),
+		}},
+		{"matmul", workloads.Matmul(8), map[string][]float64{
+			"a": randArray(rng, 64), "bmat": randArray(rng, 64),
+		}},
+		{"mandelbrot", workloads.Mandelbrot(48, 4), map[string][]float64{
+			"cxs": randArray(rng, 48), "cys": randArray(rng, 48),
+		}},
+		{"colorseg", workloads.ColorSeg(6, 6, 10), map[string][]float64{
+			"refs": randArray(rng, 40), "image": randArray(rng, 108),
+		}},
+		{"fft", workloads.FFT(16), map[string][]float64{
+			"twid": workloads.FFTTwiddles(16), "x": randArray(rng, 32),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := compareRun(t, tc.src, Options{Pipeline: true}, tc.inputs)
+			t.Logf("%s: pipelined %d loops, cell cycles %d",
+				tc.name, c.CellGen.PipelinedLoops, c.Cell.Cycles())
+		})
+	}
+}
+
+// TestPipelineThroughput verifies the headline claim of §2 and
+// Table 7-1: with software pipelining the convolution and polynomial
+// inner loops reach an initiation interval near one cycle per result,
+// several times better than the plain list schedule.
+func TestPipelineThroughput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"polynomial", workloads.Polynomial(10, 100)},
+		{"conv1d", workloads.Conv1D(9, 128)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, err := Compile(tc.src, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			piped, err := Compile(tc.src, Options{Pipeline: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if piped.CellGen.PipelinedLoops == 0 {
+				t.Fatalf("no loop was software pipelined")
+			}
+			pc, cc := plain.Cell.Cycles(), piped.Cell.Cycles()
+			if cc*3 > pc {
+				t.Errorf("pipelining gained too little: %d -> %d cycles", pc, cc)
+			}
+			t.Logf("cell cycles: plain %d, pipelined %d (%.1fx)", pc, cc, float64(pc)/float64(cc))
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Package hostgen generates the host I/O processor programs (§2.2,
+// §6.1): the exact sequence of words the host must feed into the first
+// cell's queues, and the host memory locations that successive words
+// arriving from the last cell are stored to.
+//
+// "The I/O processors in the Warp host must be programmed to supply
+// input in the exact sequence as the data is used in the Warp cells" —
+// the sequence is obtained by walking the scheduled cell program in
+// execution order and resolving each receive's external binding.
+package hostgen
+
+import (
+	"fmt"
+
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// Word is one input word the host sends: either a literal or a host
+// memory location.
+type Word struct {
+	Literal bool
+	Value   float64 // literal value
+	Index   int     // host memory index (when !Literal)
+}
+
+// Discard marks an output word with no host destination (a dummy send
+// inserted to conserve the stream, as in the paper's Figure 4-1).
+const Discard = -1
+
+// Program is the host I/O program: per channel, the input word sequence
+// for the first cell and the output destination sequence from the last
+// cell (host memory index or Discard).
+type Program struct {
+	In  map[w2.Channel][]Word
+	Out map[w2.Channel][]int
+}
+
+// Generate walks the cell program dynamically and produces the host
+// program.  Every receive on the array's input side must carry an
+// external binding (the first cell receives it from the host); sends
+// without externals are discarded on output.
+func Generate(cell *mcode.CellProgram) (*Program, error) {
+	g := &walker{
+		prog: &Program{
+			In:  map[w2.Channel][]Word{},
+			Out: map[w2.Channel][]int{},
+		},
+		iters: map[*mcode.LoopItem]int64{},
+	}
+	if err := g.walk(cell.Items); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+type walker struct {
+	prog  *Program
+	stack []*mcode.LoopItem
+	iters map[*mcode.LoopItem]int64
+}
+
+func (g *walker) walk(items []mcode.CodeItem) error {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *mcode.Straight:
+			for _, in := range it.Instrs {
+				for _, io := range in.IO {
+					if err := g.ioOp(io); err != nil {
+						return err
+					}
+				}
+			}
+		case *mcode.LoopItem:
+			g.stack = append(g.stack, it)
+			for k := int64(0); k < it.Trips; k++ {
+				g.iters[it] = k
+				if err := g.walk(it.Body); err != nil {
+					return err
+				}
+			}
+			g.stack = g.stack[:len(g.stack)-1]
+		}
+	}
+	return nil
+}
+
+// resolve evaluates a host binding's memory index at the current
+// iteration vector.
+func (g *walker) resolve(a *mcode.AddrInfo) (int, error) {
+	aff := a.Shifted()
+	idx := int64(a.Base) + aff.Const
+	for _, t := range aff.Terms {
+		li := g.findLoop(t.Var)
+		if li == nil {
+			return 0, fmt.Errorf("hostgen: external %s references loop %s outside its scope", a, t.Var.Var)
+		}
+		idx += t.Coef * (li.First + li.Step*g.iters[li])
+	}
+	return int(idx), nil
+}
+
+func (g *walker) findLoop(f *w2.ForStmt) *mcode.LoopItem {
+	for i := len(g.stack) - 1; i >= 0; i-- {
+		if g.stack[i].Src == f {
+			return g.stack[i]
+		}
+	}
+	return nil
+}
+
+func (g *walker) ioOp(io *mcode.IOOp) error {
+	if io.Recv {
+		switch {
+		case io.ExtLiteral != nil:
+			g.prog.In[io.Chan] = append(g.prog.In[io.Chan], Word{Literal: true, Value: *io.ExtLiteral})
+		case io.Ext != nil:
+			idx, err := g.resolve(io.Ext)
+			if err != nil {
+				return err
+			}
+			g.prog.In[io.Chan] = append(g.prog.In[io.Chan], Word{Index: idx})
+		default:
+			return fmt.Errorf("hostgen: a receive on channel %s has no external binding; the first cell would starve (every receive from the host side needs an external, §4.3)", io.Chan)
+		}
+		return nil
+	}
+	if io.Ext != nil {
+		idx, err := g.resolve(io.Ext)
+		if err != nil {
+			return err
+		}
+		g.prog.Out[io.Chan] = append(g.prog.Out[io.Chan], idx)
+	} else {
+		g.prog.Out[io.Chan] = append(g.prog.Out[io.Chan], Discard)
+	}
+	return nil
+}

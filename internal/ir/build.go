@@ -1,0 +1,429 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"warp/internal/w2"
+)
+
+// Build lowers an analyzed W2 module into the flowgraph IR.
+//
+// The lowering performs:
+//   - basic-block formation (loops delimit blocks; everything else is
+//     straight line),
+//   - if-conversion: conditionals become select operations so the cell
+//     schedule is data independent,
+//   - scalar value numbering within blocks, with OpRead/OpWrite at block
+//     boundaries,
+//   - intra-block ordering edges for queue operations and for possibly
+//     aliasing memory operations.
+func Build(info *w2.Info) (*Program, error) {
+	p := &Program{Module: info.Module, Info: info}
+	for _, s := range info.Module.Cells.Body {
+		call := s.(*w2.CallStmt)
+		decl := info.Funcs[call.Name]
+		b := &builder{info: info}
+		fn, err := b.buildFunc(decl)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, fn)
+	}
+	return p, nil
+}
+
+type ioKey struct {
+	op Op
+	d  w2.Direction
+	c  w2.Channel
+}
+
+type builder struct {
+	info    *w2.Info
+	fn      *Func
+	nodeID  int
+	blockID int
+
+	cur     *Block
+	regions []*[]Region // stack; top is the region list under construction
+
+	scalars  map[*w2.Symbol]*Node // current value of each scalar in the block
+	dirty    map[*w2.Symbol]bool  // scalar was assigned in this block
+	reads    map[*w2.Symbol]*Node // OpRead created in this block
+	lastIO   map[ioKey]*Node
+	memOps   map[*w2.Symbol][]*Node
+	ioCounts map[ioKey]int   // static statement ordinals per stream
+	ioDyn    map[ioKey]int64 // dynamic operation counts per stream
+
+	preds []*Node // active predicate stack (if-conversion)
+	loops []*w2.ForStmt
+	trips int64 // product of enclosing loop trip counts
+}
+
+func (b *builder) buildFunc(decl *w2.FuncDecl) (*Func, error) {
+	b.fn = &Func{Decl: decl}
+	b.ioCounts = make(map[ioKey]int)
+	b.ioDyn = make(map[ioKey]int64)
+	b.trips = 1
+	top := []Region{}
+	b.regions = []*[]Region{&top}
+	b.startBlock()
+	if err := b.stmts(decl.Body); err != nil {
+		return nil, err
+	}
+	b.endBlock()
+	b.fn.Regions = top
+	for _, d := range []w2.Direction{w2.DirL, w2.DirR} {
+		for _, c := range []w2.Channel{w2.ChanX, w2.ChanY} {
+			b.fn.NumRecv[d][c] = b.ioDyn[ioKey{OpRecv, d, c}]
+			b.fn.NumSend[d][c] = b.ioDyn[ioKey{OpSend, d, c}]
+		}
+	}
+	return b.fn, nil
+}
+
+func (b *builder) startBlock() {
+	b.cur = &Block{ID: b.blockID}
+	b.blockID++
+	b.scalars = make(map[*w2.Symbol]*Node)
+	b.dirty = make(map[*w2.Symbol]bool)
+	b.reads = make(map[*w2.Symbol]*Node)
+	b.lastIO = make(map[ioKey]*Node)
+	b.memOps = make(map[*w2.Symbol][]*Node)
+}
+
+// endBlock finalizes the current block: write back dirty scalars and
+// append the block to the enclosing region list (empty blocks are
+// dropped).
+func (b *builder) endBlock() {
+	// Deterministic write-back order: by node ID of the final value.
+	type wb struct {
+		sym *w2.Symbol
+		val *Node
+	}
+	var pending []wb
+	for sym, val := range b.scalars {
+		if b.dirty[sym] {
+			pending = append(pending, wb{sym, val})
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].val.ID < pending[j].val.ID })
+	for _, p := range pending {
+		w := b.newNode(OpWrite, p.val)
+		w.Sym = p.sym
+		// The write must follow any read of the previous value.
+		if r, ok := b.reads[p.sym]; ok && r != p.val {
+			w.Deps = append(w.Deps, r)
+		}
+	}
+	if len(b.cur.Nodes) > 0 {
+		b.fn.Blocks = append(b.fn.Blocks, b.cur)
+		*b.regions[len(b.regions)-1] = append(*b.regions[len(b.regions)-1], &BlockRegion{Block: b.cur})
+	}
+	b.cur = nil
+}
+
+func (b *builder) newNode(op Op, args ...*Node) *Node {
+	n := &Node{ID: b.nodeID, Op: op, Args: args}
+	b.nodeID++
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	return n
+}
+
+func (b *builder) constF(v float64) *Node {
+	// Local constant reuse.
+	for _, n := range b.cur.Nodes {
+		if n.Op == OpConst && n.FVal == v {
+			return n
+		}
+	}
+	n := b.newNode(OpConst)
+	n.FVal = v
+	return n
+}
+
+func (b *builder) stmts(list []w2.Stmt) error {
+	for _, s := range list {
+		if err := b.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s w2.Stmt) error {
+	switch s := s.(type) {
+	case *w2.AssignStmt:
+		val, err := b.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		return b.assign(s.LHS, val, s.Pos)
+
+	case *w2.IfStmt:
+		cond, err := b.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		b.preds = append(b.preds, cond)
+		if err := b.stmts(s.Then); err != nil {
+			return err
+		}
+		b.preds = b.preds[:len(b.preds)-1]
+		if len(s.Else) > 0 {
+			neg := b.newNode(OpNot, cond)
+			neg.Pos = s.Pos
+			b.preds = append(b.preds, neg)
+			if err := b.stmts(s.Else); err != nil {
+				return err
+			}
+			b.preds = b.preds[:len(b.preds)-1]
+		}
+		return nil
+
+	case *w2.ForStmt:
+		if len(b.preds) > 0 {
+			return fmt.Errorf("%s: loops under a conditional are not supported", s.Pos)
+		}
+		bounds := b.info.Bounds[s]
+		b.endBlock()
+		loopRegions := []Region{}
+		b.regions = append(b.regions, &loopRegions)
+		b.loops = append(b.loops, s)
+		b.trips *= bounds[1] - bounds[0] + 1
+		b.startBlock()
+		if err := b.stmts(s.Body); err != nil {
+			return err
+		}
+		b.endBlock()
+		b.trips /= bounds[1] - bounds[0] + 1
+		b.loops = b.loops[:len(b.loops)-1]
+		b.regions = b.regions[:len(b.regions)-1]
+		lr := &LoopRegion{Loop: s, Lo: bounds[0], Hi: bounds[1], Body: loopRegions}
+		*b.regions[len(b.regions)-1] = append(*b.regions[len(b.regions)-1], lr)
+		b.startBlock()
+		return nil
+
+	case *w2.ReceiveStmt:
+		if len(b.preds) > 0 {
+			return fmt.Errorf("%s: receive under a conditional", s.Pos)
+		}
+		n := b.newNode(OpRecv)
+		n.Dir, n.Chan, n.Pos = s.Dir, s.Chan, s.Pos
+		n.Ext = b.extRef(s.External)
+		b.orderIO(n)
+		return b.assign(s.LHS, n, s.Pos)
+
+	case *w2.SendStmt:
+		if len(b.preds) > 0 {
+			return fmt.Errorf("%s: send under a conditional", s.Pos)
+		}
+		val, err := b.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		n := b.newNode(OpSend, val)
+		n.Dir, n.Chan, n.Pos = s.Dir, s.Chan, s.Pos
+		if s.External != nil {
+			n.Ext = b.extRef(s.External)
+		}
+		b.orderIO(n)
+		return nil
+
+	case *w2.BlockStmt:
+		return b.stmts(s.Body)
+	}
+	return fmt.Errorf("%s: unhandled statement in IR lowering", s.StmtPos())
+}
+
+// orderIO assigns the static per-stream ordinal and chains the node
+// after the previous operation on the same queue.
+func (b *builder) orderIO(n *Node) {
+	k := ioKey{n.Op, n.Dir, n.Chan}
+	n.IOSeq = b.ioCounts[k]
+	b.ioCounts[k]++
+	b.ioDyn[k] += b.trips
+	if prev, ok := b.lastIO[k]; ok {
+		n.Deps = append(n.Deps, prev)
+	}
+	b.lastIO[k] = n
+}
+
+func (b *builder) extRef(e w2.Expr) *ExtRef {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *w2.FloatLit:
+		return &ExtRef{Literal: e.Value}
+	case *w2.IntLit:
+		return &ExtRef{Literal: float64(e.Value)}
+	case *w2.VarRef:
+		return &ExtRef{Sym: b.info.Uses[e], Addr: b.info.Address[e]}
+	}
+	return nil
+}
+
+// predicate returns the conjunction of the active predicate stack, or
+// nil when unpredicated.
+func (b *builder) predicate() *Node {
+	if len(b.preds) == 0 {
+		return nil
+	}
+	p := b.preds[0]
+	for _, q := range b.preds[1:] {
+		p = b.andNode(p, q)
+	}
+	return p
+}
+
+func (b *builder) andNode(p, q *Node) *Node {
+	for _, n := range b.cur.Nodes {
+		if n.Op == OpAnd && len(n.Args) == 2 &&
+			((n.Args[0] == p && n.Args[1] == q) || (n.Args[0] == q && n.Args[1] == p)) {
+			return n
+		}
+	}
+	return b.newNode(OpAnd, p, q)
+}
+
+// assign stores val into a scalar or array element, applying the active
+// predicate with a select.
+func (b *builder) assign(lhs *w2.VarRef, val *Node, pos w2.Pos) error {
+	sym := b.info.Uses[lhs]
+	pred := b.predicate()
+	if sym.Kind == w2.SymCellScalar {
+		if pred != nil {
+			old := b.scalarValue(sym)
+			sel := b.newNode(OpSelect, pred, val, old)
+			sel.Pos = pos
+			val = sel
+		}
+		b.scalars[sym] = val
+		b.dirty[sym] = true
+		return nil
+	}
+	// Array element store.
+	addr := b.info.Address[lhs]
+	if pred != nil {
+		old := b.load(sym, addr, pos)
+		sel := b.newNode(OpSelect, pred, val, old)
+		sel.Pos = pos
+		val = sel
+	}
+	st := b.newNode(OpStore, val)
+	st.Sym, st.Addr, st.Pos = sym, addr, pos
+	b.orderMem(st)
+	return nil
+}
+
+// scalarValue returns the current value of a scalar, creating an OpRead
+// on first use in the block.
+func (b *builder) scalarValue(sym *w2.Symbol) *Node {
+	if v, ok := b.scalars[sym]; ok {
+		return v
+	}
+	r := b.newNode(OpRead)
+	r.Sym = sym
+	b.scalars[sym] = r
+	b.reads[sym] = r
+	return r
+}
+
+func (b *builder) load(sym *w2.Symbol, addr w2.Affine, pos w2.Pos) *Node {
+	ld := b.newNode(OpLoad)
+	ld.Sym, ld.Addr, ld.Pos = sym, addr, pos
+	b.orderMem(ld)
+	return ld
+}
+
+// orderMem adds conservative ordering edges between memory operations on
+// the same array that may alias within one iteration.  Two affine
+// addresses cannot alias when their difference is a nonzero constant
+// (the paper's global flow analysis "is powerful enough to distinguish
+// between individual array elements", §6.1).
+func (b *builder) orderMem(n *Node) {
+	prev := b.memOps[n.Sym]
+	for _, m := range prev {
+		if n.Op == OpLoad && m.Op == OpLoad {
+			continue
+		}
+		if diff := n.Addr.Sub(m.Addr); diff.IsConst() && diff.Const != 0 {
+			continue // provably disjoint
+		}
+		n.Deps = append(n.Deps, m)
+	}
+	b.memOps[n.Sym] = append(prev, n)
+}
+
+func (b *builder) expr(e w2.Expr) (*Node, error) {
+	switch e := e.(type) {
+	case *w2.IntLit:
+		return b.constF(float64(e.Value)), nil
+	case *w2.FloatLit:
+		return b.constF(e.Value), nil
+	case *w2.VarRef:
+		sym := b.info.Uses[e]
+		switch sym.Kind {
+		case w2.SymCellScalar:
+			return b.scalarValue(sym), nil
+		case w2.SymCellArray:
+			return b.load(sym, b.info.Address[e], e.Pos), nil
+		}
+		return nil, fmt.Errorf("%s: %s cannot be used as a value", e.Pos, e.Name)
+	case *w2.UnExpr:
+		x, err := b.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		op := OpFneg
+		if !e.Neg {
+			op = OpNot
+		}
+		n := b.newNode(op, x)
+		n.Pos = e.Pos
+		return n, nil
+	case *w2.BinExpr:
+		l, err := b.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		var op Op
+		switch e.Op {
+		case w2.OpAdd:
+			op = OpFadd
+		case w2.OpSub:
+			op = OpFsub
+		case w2.OpMul:
+			op = OpFmul
+		case w2.OpDivide:
+			op = OpFdiv
+		case w2.OpEq:
+			op = OpEq
+		case w2.OpNe:
+			op = OpNe
+		case w2.OpLt:
+			op = OpLt
+		case w2.OpLe:
+			op = OpLe
+		case w2.OpGt:
+			op = OpGt
+		case w2.OpGe:
+			op = OpGe
+		case w2.OpAnd:
+			op = OpAnd
+		case w2.OpOr:
+			op = OpOr
+		default:
+			return nil, fmt.Errorf("%s: operator %s not supported on cells", e.Pos, e.Op)
+		}
+		n := b.newNode(op, l, r)
+		n.Pos = e.Pos
+		return n, nil
+	}
+	return nil, fmt.Errorf("%s: unhandled expression in IR lowering", e.ExprPos())
+}

@@ -1,0 +1,350 @@
+// Package mcode defines the microinstruction words executed by the Warp
+// cells and the interface unit, shared between the code generators and
+// the simulator.
+//
+// A Warp cell (Figure 2-2 of the paper) is a horizontal microengine:
+// every functional unit is controlled by its own field of a wide
+// instruction word, all units issue in the same cycle, and the two
+// floating-point units are 5-stage pipelined.  We model:
+//
+//   - ADD unit: floating add/sub/neg, comparisons, boolean connectives
+//     and select (pipelined, latency FPULatency);
+//   - MUL unit: floating mul/div (same latency);
+//   - two memory ports (the cell can make two data-memory references per
+//     cycle, §2.2), each taking its address from the Adr queue;
+//   - queue ports: receive/send on channel X and Y;
+//   - a literal field writing an immediate into a register.
+//
+// One simplification relative to the hardware: the two 32-word
+// register files (one per FPU) and the crossbar are modelled as a
+// single 64-word register file reachable by every unit.  This preserves
+// the scheduling structure (register pressure, unit parallelism, result
+// latency) without modelling crossbar port assignment.
+package mcode
+
+import (
+	"fmt"
+	"strings"
+
+	"warp/internal/w2"
+)
+
+// Architectural parameters of the Warp cell.
+const (
+	// FPULatency is the pipeline depth of each floating-point unit:
+	// a result issued at cycle t may be consumed at t+FPULatency.
+	FPULatency = 5
+	// NumRegs is the size of the (unified) cell register file.
+	NumRegs = 64
+	// QueueDepth is the hardware queue size per channel (words).
+	QueueDepth = 128
+	// MemWords is the cell data memory size (4K words).
+	MemWords = 4096
+	// MemPorts is the number of data-memory references per cycle.
+	MemPorts = 2
+)
+
+// Reg is a cell register number.
+type Reg int
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
+
+// AluCode selects the operation of an FPU field.
+type AluCode int
+
+// ALU operation codes.  Fadd..Fneg and the comparisons/booleans/select
+// execute on the ADD unit; Fmul and Fdiv on the MUL unit.
+const (
+	Fadd AluCode = iota
+	Fsub
+	Fneg
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	BoolAnd
+	BoolOr
+	BoolNot
+	Sel
+	// Mov is a crossbar register-to-register move (latency 1); it is
+	// issued on the ADD unit's field but bypasses the FPU pipeline.
+	Mov
+	Fmul
+	Fdiv
+)
+
+var aluNames = [...]string{
+	Fadd: "fadd", Fsub: "fsub", Fneg: "fneg",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+	CmpGT: "cmpgt", CmpGE: "cmpge",
+	BoolAnd: "and", BoolOr: "or", BoolNot: "not", Sel: "sel", Mov: "mov",
+	Fmul: "fmul", Fdiv: "fdiv",
+}
+
+func (c AluCode) String() string { return aluNames[c] }
+
+// NumOperands returns how many register operands the code reads.
+func (c AluCode) NumOperands() int {
+	switch c {
+	case Fneg, BoolNot, Mov:
+		return 1
+	case Sel:
+		return 3
+	}
+	return 2
+}
+
+// Latency returns the cycles until the result register is readable.
+func (c AluCode) Latency() int64 {
+	if c == Mov {
+		return 1
+	}
+	return FPULatency
+}
+
+// OnMulUnit reports whether the code executes on the MUL unit.
+func (c AluCode) OnMulUnit() bool { return c == Fmul || c == Fdiv }
+
+// AluOp is one FPU field: dst ← code(src...).
+type AluOp struct {
+	Code AluCode
+	Dst  Reg
+	Src  [3]Reg // Src[0..NumOperands-1] are meaningful
+}
+
+func (o *AluOp) String() string {
+	ops := make([]string, o.Code.NumOperands())
+	for i := range ops {
+		ops[i] = o.Src[i].String()
+	}
+	return fmt.Sprintf("%s %s <- %s", o.Code, o.Dst, strings.Join(ops, ","))
+}
+
+// MemOp is one memory-port field.  The address is popped from the Adr
+// queue (addresses are generated on the IU, §2.2); the AddrInfo
+// metadata records what the IU must produce for this reference.
+type MemOp struct {
+	Store bool
+	Reg   Reg // destination (load) or source (store)
+	Addr  AddrInfo
+}
+
+func (o *MemOp) String() string {
+	if o.Store {
+		return fmt.Sprintf("store [adr] <- %s  ; %s", o.Reg, o.Addr)
+	}
+	return fmt.Sprintf("load %s <- [adr]  ; %s", o.Reg, o.Addr)
+}
+
+// AddrInfo describes the address the IU must generate for one memory
+// reference or one host binding: Base + Affine evaluated at the current
+// loop indices shifted by Delta (software pipelining moves operations
+// across iteration boundaries).
+type AddrInfo struct {
+	Sym    *w2.Symbol
+	Base   int
+	Affine w2.Affine
+	Delta  map[*w2.ForStmt]int64 // iteration offset per loop; nil when zero
+}
+
+func (a AddrInfo) String() string {
+	s := fmt.Sprintf("%s+%s", a.Sym.Name, a.Affine)
+	for loop, d := range a.Delta {
+		if d != 0 {
+			s += fmt.Sprintf(" [%s%+d]", loop.Var, d)
+		}
+	}
+	return s
+}
+
+// Shifted returns the affine address with each loop index i replaced by
+// i+Delta[i], folding the shift into the constant term.
+func (a AddrInfo) Shifted() w2.Affine {
+	aff := a.Affine
+	for loop, d := range a.Delta {
+		aff = w2.Affine{Const: aff.Const + aff.Coef(loop)*d, Terms: aff.Terms}
+	}
+	return aff
+}
+
+// IOOp is a queue-port field: a receive writes the popped word to Dst;
+// a send pushes Src.
+type IOOp struct {
+	Recv bool
+	Dir  w2.Direction
+	Chan w2.Channel
+	Reg  Reg
+	// Ext is the host binding for boundary cells; nil otherwise.
+	// ExtLiteral supplies the value when the external is a literal.
+	Ext        *AddrInfo
+	ExtLiteral *float64
+	Delta      map[*w2.ForStmt]int64 // iteration offset (software pipelining)
+}
+
+func (o *IOOp) String() string {
+	if o.Recv {
+		return fmt.Sprintf("recv %s <- %s.%s", o.Reg, o.Dir, o.Chan)
+	}
+	return fmt.Sprintf("send %s.%s <- %s", o.Dir, o.Chan, o.Reg)
+}
+
+// LitOp writes an immediate into a register.
+type LitOp struct {
+	Dst   Reg
+	Value float64
+}
+
+func (o *LitOp) String() string { return fmt.Sprintf("lit %s <- %g", o.Dst, o.Value) }
+
+// Instr is one wide microinstruction: all non-nil fields issue in the
+// same cycle.  Mov is a dedicated crossbar register-move field: the
+// full crossbar of Figure 2-2 can route one register to another without
+// passing through an FPU, so moves do not compete with arithmetic.
+type Instr struct {
+	Add *AluOp
+	Mul *AluOp
+	Mov *AluOp // crossbar move (Code must be Mov)
+	Mem [MemPorts]*MemOp
+	IO  []*IOOp // at most one per (direction, channel, recv/send) port
+	Lit *LitOp
+}
+
+// Empty reports whether the instruction is a no-op.
+func (in *Instr) Empty() bool {
+	if in.Add != nil || in.Mul != nil || in.Mov != nil || in.Lit != nil || len(in.IO) > 0 {
+		return false
+	}
+	for _, m := range in.Mem {
+		if m != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *Instr) String() string {
+	var parts []string
+	if in.Add != nil {
+		parts = append(parts, in.Add.String())
+	}
+	if in.Mul != nil {
+		parts = append(parts, in.Mul.String())
+	}
+	if in.Mov != nil {
+		parts = append(parts, in.Mov.String())
+	}
+	for _, m := range in.Mem {
+		if m != nil {
+			parts = append(parts, m.String())
+		}
+	}
+	for _, io := range in.IO {
+		parts = append(parts, io.String())
+	}
+	if in.Lit != nil {
+		parts = append(parts, in.Lit.String())
+	}
+	if len(parts) == 0 {
+		return "nop"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// CodeItem is a node of the structured cell program: straight-line code
+// or a counted loop.
+type CodeItem interface {
+	// Cycles returns the execution time of the item in cycles.
+	Cycles() int64
+}
+
+// Straight is a block of consecutive microinstructions.
+type Straight struct {
+	Instrs []*Instr
+}
+
+// Cycles returns the length of the block.
+func (s *Straight) Cycles() int64 { return int64(len(s.Instrs)) }
+
+// LoopItem is a counted loop.  The cell's sequencer repeats the body;
+// the termination decision each iteration comes from the IU's loop
+// control signal (§6.3.1).
+//
+// Src/First/Step record the mapping from the hardware loop's iteration
+// number k (0-based) to the source-level index of loop Src:
+// i = First + Step·k.  The IU code generator uses it to evaluate affine
+// addresses; software pipelining may retarget the mapping.
+type LoopItem struct {
+	ID    int // loop identifier shared with the IU program
+	Trips int64
+	Body  []CodeItem
+
+	Src   *w2.ForStmt
+	First int64
+	Step  int64
+}
+
+// Cycles returns total loop execution time.
+func (l *LoopItem) Cycles() int64 {
+	var body int64
+	for _, it := range l.Body {
+		body += it.Cycles()
+	}
+	return body * l.Trips
+}
+
+// CellProgram is the complete microprogram of one cell.
+type CellProgram struct {
+	Items []CodeItem
+}
+
+// Cycles returns the total execution time of the program.
+func (p *CellProgram) Cycles() int64 {
+	var n int64
+	for _, it := range p.Items {
+		n += it.Cycles()
+	}
+	return n
+}
+
+// NumInstrs counts static microinstructions (the paper's "cell µcode"
+// length metric of Table 7-1).
+func (p *CellProgram) NumInstrs() int {
+	var count func(items []CodeItem) int
+	count = func(items []CodeItem) int {
+		n := 0
+		for _, it := range items {
+			switch it := it.(type) {
+			case *Straight:
+				n += len(it.Instrs)
+			case *LoopItem:
+				n += count(it.Body)
+			}
+		}
+		return n
+	}
+	return count(p.Items)
+}
+
+// Listing renders the program as an annotated microcode listing.
+func (p *CellProgram) Listing() string {
+	var sb strings.Builder
+	var walk func(items []CodeItem, depth int)
+	walk = func(items []CodeItem, depth int) {
+		indent := strings.Repeat("  ", depth)
+		for _, it := range items {
+			switch it := it.(type) {
+			case *Straight:
+				for _, in := range it.Instrs {
+					fmt.Fprintf(&sb, "%s%s\n", indent, in)
+				}
+			case *LoopItem:
+				fmt.Fprintf(&sb, "%sloop L%d (%d times):\n", indent, it.ID, it.Trips)
+				walk(it.Body, depth+1)
+			}
+		}
+	}
+	walk(p.Items, 0)
+	return sb.String()
+}

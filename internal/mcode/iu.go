@@ -1,0 +1,245 @@
+package mcode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file models the interface unit (IU) microengine (§2.2, §6.3).
+// The IU generates the address stream and the loop control signals for
+// the Warp array.  Its constraints, which drive the IU code generator:
+//
+//   - 16 registers and no data memory (spilling is impossible);
+//   - an adder/subtractor only — no multiplier, so every address must be
+//     formed by additions and subtractions (strength reduction);
+//   - a 32K-word table memory readable only in sequential order, used to
+//     pre-store addresses the IU cannot compute in time;
+//   - at least three cycles of counter work per loop iteration for the
+//     termination test (§6.3.1).
+
+// Architectural parameters of the IU.
+const (
+	// IUNumRegs is the number of IU registers (§6.3.2: "there is no
+	// memory in the IU, at no time can there be more than 16 live
+	// variables, since there are only 16 registers").
+	IUNumRegs = 16
+	// TableWords is the size of the sequential-access address table.
+	TableWords = 32768
+	// LoopOverheadCycles is the counter update-and-test time per
+	// iteration (§6.3.1: "the IU ... needs at least three cycles to
+	// update and test the loop counter").
+	LoopOverheadCycles = 3
+)
+
+// IUReg is an IU register number.
+type IUReg int
+
+func (r IUReg) String() string { return fmt.Sprintf("a%d", r) }
+
+// IUAlu is the IU's adder field: Dst ← A ± B.
+type IUAlu struct {
+	Sub    bool
+	Dst, A IUReg
+	B      IUReg
+	BIsImm bool
+	ImmVal int64
+}
+
+func (o *IUAlu) String() string {
+	op := "+"
+	if o.Sub {
+		op = "-"
+	}
+	b := o.B.String()
+	if o.BIsImm {
+		b = fmt.Sprintf("#%d", o.ImmVal)
+	}
+	return fmt.Sprintf("%s <- %s %s %s", o.Dst, o.A, op, b)
+}
+
+// IUImm loads an immediate into a register.
+type IUImm struct {
+	Dst   IUReg
+	Value int64
+}
+
+func (o *IUImm) String() string { return fmt.Sprintf("%s <- #%d", o.Dst, o.Value) }
+
+// IUOut emits one address onto the Adr path, either from a register or
+// from the next sequential table location.
+type IUOut struct {
+	FromTable bool
+	Src       IUReg
+}
+
+func (o *IUOut) String() string {
+	if o.FromTable {
+		return "adr <- table++"
+	}
+	return fmt.Sprintf("adr <- %s", o.Src)
+}
+
+// IUSig emits the control signal for cell loop LoopID: whether another
+// iteration follows.  Inside an IU loop the decision depends on the
+// loop counter (this is the work §6.3.1's three cycles pay for): the
+// cell iteration is iter·M + Copy of CellTrips, where iter is the
+// enclosing IU loop's current repetition.  Signals emitted by unrolled
+// remainder copies are static.
+type IUSig struct {
+	LoopID int
+	// Static signals carry the decision directly.
+	Static   bool
+	Continue bool
+	// Dynamic signals: cell iteration = iter·M + Copy of CellTrips.
+	Copy      int64
+	M         int64
+	CellTrips int64
+}
+
+func (o *IUSig) String() string {
+	if !o.Static {
+		return fmt.Sprintf("sig L%d ctr*%d%+d<%d", o.LoopID, o.M, o.Copy, o.CellTrips-1)
+	}
+	if o.Continue {
+		return fmt.Sprintf("sig L%d continue", o.LoopID)
+	}
+	return fmt.Sprintf("sig L%d stop", o.LoopID)
+}
+
+// IUInstr is one wide IU microinstruction; all non-nil fields issue in
+// the same cycle.  Out has one slot per cell memory port, because the
+// cells make up to two data-memory references per cycle.  CtrWork marks
+// a cycle whose adder is reserved for loop-counter update-and-test
+// bookkeeping (§6.3.1); it conflicts with Alu.
+type IUInstr struct {
+	Alu     *IUAlu
+	Imm     *IUImm
+	Out     [MemPorts]*IUOut
+	Sig     *IUSig
+	CtrWork bool
+}
+
+// Empty reports whether the instruction is a no-op.
+func (in *IUInstr) Empty() bool {
+	if in.Alu != nil || in.Imm != nil || in.Sig != nil || in.CtrWork {
+		return false
+	}
+	for _, o := range in.Out {
+		if o != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *IUInstr) String() string {
+	var parts []string
+	if in.Alu != nil {
+		parts = append(parts, in.Alu.String())
+	}
+	if in.CtrWork {
+		parts = append(parts, "ctr")
+	}
+	if in.Imm != nil {
+		parts = append(parts, in.Imm.String())
+	}
+	for _, o := range in.Out {
+		if o != nil {
+			parts = append(parts, o.String())
+		}
+	}
+	if in.Sig != nil {
+		parts = append(parts, in.Sig.String())
+	}
+	if len(parts) == 0 {
+		return "nop"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// IUItem is a node of the structured IU program.
+type IUItem interface {
+	iuCycles() int64
+}
+
+// IUStraight is a block of consecutive IU microinstructions.
+type IUStraight struct {
+	Instrs []*IUInstr
+}
+
+func (s *IUStraight) iuCycles() int64 { return int64(len(s.Instrs)) }
+
+// IULoop is a counted IU loop, mirroring a cell loop.
+type IULoop struct {
+	ID    int
+	Trips int64
+	Body  []IUItem
+}
+
+func (l *IULoop) iuCycles() int64 {
+	var n int64
+	for _, it := range l.Body {
+		n += it.iuCycles()
+	}
+	return n * l.Trips
+}
+
+// IUProgram is the complete IU microprogram, together with the
+// pre-stored address table contents.
+type IUProgram struct {
+	Items []IUItem
+	Table []int64
+}
+
+// Cycles returns total execution time.
+func (p *IUProgram) Cycles() int64 {
+	var n int64
+	for _, it := range p.Items {
+		n += it.iuCycles()
+	}
+	return n
+}
+
+// NumInstrs counts static microinstructions (the "IU µcode" metric of
+// Table 7-1).
+func (p *IUProgram) NumInstrs() int {
+	var count func(items []IUItem) int
+	count = func(items []IUItem) int {
+		n := 0
+		for _, it := range items {
+			switch it := it.(type) {
+			case *IUStraight:
+				n += len(it.Instrs)
+			case *IULoop:
+				n += count(it.Body)
+			}
+		}
+		return n
+	}
+	return count(p.Items)
+}
+
+// Listing renders the IU program.
+func (p *IUProgram) Listing() string {
+	var sb strings.Builder
+	var walk func(items []IUItem, depth int)
+	walk = func(items []IUItem, depth int) {
+		indent := strings.Repeat("  ", depth)
+		for _, it := range items {
+			switch it := it.(type) {
+			case *IUStraight:
+				for _, in := range it.Instrs {
+					fmt.Fprintf(&sb, "%s%s\n", indent, in)
+				}
+			case *IULoop:
+				fmt.Fprintf(&sb, "%sloop L%d (%d times):\n", indent, it.ID, it.Trips)
+				walk(it.Body, depth+1)
+			}
+		}
+	}
+	walk(p.Items, 0)
+	if len(p.Table) > 0 {
+		fmt.Fprintf(&sb, "table: %d entries\n", len(p.Table))
+	}
+	return sb.String()
+}

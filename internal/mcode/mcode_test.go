@@ -1,0 +1,179 @@
+package mcode
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/w2"
+)
+
+func TestCellProgramCyclesAndInstrs(t *testing.T) {
+	p := &CellProgram{Items: []CodeItem{
+		&Straight{Instrs: []*Instr{{}, {}}},
+		&LoopItem{ID: 0, Trips: 10, Body: []CodeItem{
+			&Straight{Instrs: []*Instr{{}, {}, {}}},
+		}},
+		&Straight{Instrs: []*Instr{{}}},
+	}}
+	if got := p.Cycles(); got != 2+30+1 {
+		t.Errorf("Cycles = %d, want 33", got)
+	}
+	if got := p.NumInstrs(); got != 6 {
+		t.Errorf("NumInstrs = %d, want 6 (static)", got)
+	}
+}
+
+func TestIUProgramCyclesAndInstrs(t *testing.T) {
+	p := &IUProgram{Items: []IUItem{
+		&IUStraight{Instrs: []*IUInstr{{}, {}}},
+		&IULoop{ID: 0, Trips: 5, Body: []IUItem{
+			&IUStraight{Instrs: []*IUInstr{{}, {}, {}, {}}},
+		}},
+	}}
+	if got := p.Cycles(); got != 2+20 {
+		t.Errorf("Cycles = %d, want 22", got)
+	}
+	if got := p.NumInstrs(); got != 6 {
+		t.Errorf("NumInstrs = %d, want 6", got)
+	}
+}
+
+func TestListings(t *testing.T) {
+	cell := &CellProgram{Items: []CodeItem{
+		&Straight{Instrs: []*Instr{
+			{Lit: &LitOp{Dst: 3, Value: 1.5}},
+			{Add: &AluOp{Code: Fadd, Dst: 1, Src: [3]Reg{2, 3}},
+				IO: []*IOOp{{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 4}}},
+		}},
+		&LoopItem{ID: 2, Trips: 7, Body: []CodeItem{
+			&Straight{Instrs: []*Instr{{Mov: &AluOp{Code: Mov, Dst: 0, Src: [3]Reg{1}}}}},
+		}},
+	}}
+	l := cell.Listing()
+	for _, want := range []string{"lit r3 <- 1.5", "fadd r1 <- r2,r3", "recv r4 <- L.X", "loop L2 (7 times):", "mov r0 <- r1"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("cell listing misses %q:\n%s", want, l)
+		}
+	}
+	iu := &IUProgram{Items: []IUItem{
+		&IUStraight{Instrs: []*IUInstr{
+			{Imm: &IUImm{Dst: 2, Value: 40}},
+			{Alu: &IUAlu{Dst: 2, A: 2, BIsImm: true, ImmVal: 3}},
+			{Out: [MemPorts]*IUOut{{Src: 2}, {FromTable: true}},
+				Sig: &IUSig{LoopID: 1, Static: true, Continue: true}},
+			{CtrWork: true},
+		}},
+	}, Table: []int64{7}}
+	il := iu.Listing()
+	for _, want := range []string{"a2 <- #40", "a2 <- a2 + #3", "adr <- a2", "adr <- table++", "sig L1 continue", "ctr", "table: 1 entries"} {
+		if !strings.Contains(il, want) {
+			t.Errorf("IU listing misses %q:\n%s", want, il)
+		}
+	}
+}
+
+func TestInstrEmptyAndNop(t *testing.T) {
+	in := &Instr{}
+	if !in.Empty() || in.String() != "nop" {
+		t.Error("empty instruction broken")
+	}
+	in.Mov = &AluOp{Code: Mov}
+	if in.Empty() {
+		t.Error("mov instruction reported empty")
+	}
+	iu := &IUInstr{}
+	if !iu.Empty() || iu.String() != "nop" {
+		t.Error("empty IU instruction broken")
+	}
+	iu.CtrWork = true
+	if iu.Empty() {
+		t.Error("counter-work instruction reported empty")
+	}
+}
+
+func TestAddrInfoShifted(t *testing.T) {
+	loop := &w2.ForStmt{Var: "i"}
+	aff := w2.AffVar(loop).Scale(3).Add(w2.AffConst(2))
+	info := AddrInfo{Affine: aff, Delta: map[*w2.ForStmt]int64{loop: 4}}
+	shifted := info.Shifted()
+	// i -> i+4: 3(i+4)+2 = 3i+14.
+	if shifted.Const != 14 || shifted.Coef(loop) != 3 {
+		t.Errorf("Shifted = %v, want 3i+14", shifted)
+	}
+	// Without deltas it is the identity.
+	info2 := AddrInfo{Affine: aff}
+	if !info2.Shifted().Equal(aff) {
+		t.Error("Shifted without delta changed the affine")
+	}
+}
+
+func TestAluCodeProperties(t *testing.T) {
+	if Mov.Latency() != 1 {
+		t.Error("mov latency must be 1")
+	}
+	if Fadd.Latency() != FPULatency || Fmul.Latency() != FPULatency {
+		t.Error("FPU latency wrong")
+	}
+	if !Fmul.OnMulUnit() || !Fdiv.OnMulUnit() || Fadd.OnMulUnit() {
+		t.Error("unit assignment wrong")
+	}
+	if Sel.NumOperands() != 3 || Fneg.NumOperands() != 1 || Fadd.NumOperands() != 2 {
+		t.Error("operand counts wrong")
+	}
+}
+
+func TestValidateCellCatchesBadPrograms(t *testing.T) {
+	bad := []*CellProgram{
+		{Items: []CodeItem{&Straight{Instrs: []*Instr{
+			{Add: &AluOp{Code: Fadd, Dst: 200}},
+		}}}},
+		{Items: []CodeItem{&Straight{Instrs: []*Instr{
+			{Add: &AluOp{Code: Fmul, Dst: 1}},
+		}}}},
+		{Items: []CodeItem{&Straight{Instrs: []*Instr{
+			{Mov: &AluOp{Code: Fadd, Dst: 1}},
+		}}}},
+		{Items: []CodeItem{&Straight{Instrs: []*Instr{
+			{IO: []*IOOp{
+				{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 1},
+				{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 2},
+			}},
+		}}}},
+		{Items: []CodeItem{&LoopItem{ID: 0, Trips: 0, Body: []CodeItem{
+			&Straight{Instrs: []*Instr{{}}},
+		}}}},
+		{Items: []CodeItem{&LoopItem{ID: 0, Trips: 3}}},
+	}
+	for i, p := range bad {
+		if err := ValidateCell(p); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+func TestCountCell(t *testing.T) {
+	p := &CellProgram{Items: []CodeItem{
+		&LoopItem{ID: 0, Trips: 4, Body: []CodeItem{
+			&Straight{Instrs: []*Instr{
+				{IO: []*IOOp{{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 0}}},
+				{Mem: [MemPorts]*MemOp{{Store: true, Reg: 0}}},
+				{IO: []*IOOp{{Recv: false, Dir: w2.DirR, Chan: w2.ChanY, Reg: 0}}},
+			}},
+			&LoopItem{ID: 1, Trips: 2, Body: []CodeItem{
+				&Straight{Instrs: []*Instr{
+					{Mem: [MemPorts]*MemOp{{Store: false, Reg: 1}}},
+				}},
+			}},
+		}},
+	}}
+	c := CountCell(p)
+	if c.Recv[w2.ChanX] != 4 || c.Send[w2.ChanY] != 4 {
+		t.Errorf("I/O counts wrong: %+v", c)
+	}
+	if c.AdrPops != 4+8 {
+		t.Errorf("AdrPops = %d, want 12", c.AdrPops)
+	}
+	if c.Signals != 4+8 {
+		t.Errorf("Signals = %d, want 12", c.Signals)
+	}
+}

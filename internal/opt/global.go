@@ -1,0 +1,162 @@
+package opt
+
+import (
+	"warp/internal/ir"
+	"warp/internal/w2"
+)
+
+// DepKind classifies a global dependence arc (§6.1): the global flow
+// analyzer inserts "uses" arcs when a strict dependence can be deduced
+// (this read always sees that write) and conservative sequencing arcs
+// otherwise.
+type DepKind int
+
+// Dependence kinds.
+const (
+	// Strict: the target always uses the value of the source.
+	Strict DepKind = iota
+	// Sequencing: a conservative order-of-evaluation constraint.
+	Sequencing
+)
+
+// DepArc is one dependence arc between dag nodes, possibly in different
+// basic blocks.
+type DepArc struct {
+	From, To *ir.Node
+	Kind     DepKind
+}
+
+// DepGraph is the global data-dependence information for one function:
+// operand edges, explicit ordering edges, and the cross-block arcs
+// computed by GlobalDeps.
+type DepGraph struct {
+	Fn   *ir.Func
+	Arcs []DepArc
+	// Succ maps each node to its dependence successors over all edge
+	// classes (operands, ordering edges, and global arcs).
+	Succ map[*ir.Node][]*ir.Node
+}
+
+// GlobalDeps computes cross-block dependence arcs for a function:
+//
+//   - scalar flow: an OpWrite of a scalar reaches every later OpRead of
+//     the same scalar (strict when it is the unique reaching write,
+//     which holds per program point in our structured flowgraphs;
+//     conservatively including loop back edges);
+//   - memory flow: a store to an array reaches later loads of the same
+//     array unless their affine addresses can never be equal, in which
+//     case no arc is inserted (the paper's analysis "is powerful enough
+//     to distinguish between individual array elements"); stores to
+//     possibly-equal addresses get sequencing arcs.
+//
+// Blocks execute in program order, and loop bodies additionally feed
+// back into themselves, so "later" includes same-block-next-iteration
+// when the nodes share a loop.
+func GlobalDeps(fn *ir.Func) *DepGraph {
+	g := &DepGraph{Fn: fn, Succ: make(map[*ir.Node][]*ir.Node)}
+
+	// Operand and intra-block ordering edges.
+	ir.Walk(fn.Regions, func(b *ir.Block) {
+		for _, n := range b.Nodes {
+			for _, a := range n.Args {
+				g.Succ[a] = append(g.Succ[a], n)
+			}
+			for _, d := range n.Deps {
+				g.Succ[d] = append(g.Succ[d], n)
+			}
+		}
+	})
+
+	// Collect scalar writes/reads and memory ops per block order.
+	type memo struct {
+		writes map[*w2.Symbol][]*ir.Node
+		reads  map[*w2.Symbol][]*ir.Node
+		loads  map[*w2.Symbol][]*ir.Node
+		stores map[*w2.Symbol][]*ir.Node
+	}
+	all := memo{
+		writes: map[*w2.Symbol][]*ir.Node{},
+		reads:  map[*w2.Symbol][]*ir.Node{},
+		loads:  map[*w2.Symbol][]*ir.Node{},
+		stores: map[*w2.Symbol][]*ir.Node{},
+	}
+	ir.Walk(fn.Regions, func(b *ir.Block) {
+		for _, n := range b.Nodes {
+			switch n.Op {
+			case ir.OpWrite:
+				all.writes[n.Sym] = append(all.writes[n.Sym], n)
+			case ir.OpRead:
+				all.reads[n.Sym] = append(all.reads[n.Sym], n)
+			case ir.OpLoad:
+				all.loads[n.Sym] = append(all.loads[n.Sym], n)
+			case ir.OpStore:
+				all.stores[n.Sym] = append(all.stores[n.Sym], n)
+			}
+		}
+	})
+
+	add := func(from, to *ir.Node, k DepKind) {
+		g.Arcs = append(g.Arcs, DepArc{From: from, To: to, Kind: k})
+		g.Succ[from] = append(g.Succ[from], to)
+	}
+
+	// Scalar arcs: flow-insensitive over the function (conservative but
+	// exact enough for reachability; the blocks execute in order and
+	// loops iterate, so any write may reach any read).
+	for sym, ws := range all.writes {
+		for _, w := range ws {
+			for _, r := range all.reads[sym] {
+				add(w, r, Strict)
+			}
+		}
+	}
+	// Memory arcs with affine disambiguation.
+	for sym, sts := range all.stores {
+		for _, st := range sts {
+			for _, ld := range all.loads[sym] {
+				if mayAlias(st.Addr, ld.Addr) {
+					add(st, ld, Strict)
+				}
+			}
+			for _, st2 := range sts {
+				if st2 != st && mayAlias(st.Addr, st2.Addr) {
+					add(st, st2, Sequencing)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// mayAlias reports whether two affine addresses could refer to the same
+// element for some (possibly different) iteration vectors.  Unlike the
+// same-iteration test used inside a block, a nonzero constant
+// difference rules out aliasing only for loop-invariant addresses:
+// a[i] and a[i+1] touch the same element one iteration apart.
+func mayAlias(a, b w2.Affine) bool {
+	d := a.Sub(b)
+	if !d.IsConst() || d.Const == 0 {
+		return true
+	}
+	// Constant nonzero difference: disjoint only if the addresses are
+	// themselves loop invariant.
+	return len(a.Terms) != 0 || len(b.Terms) != 0
+}
+
+// Reachable computes the set of nodes reachable from start over the
+// dependence graph (start excluded unless on a cycle).
+func (g *DepGraph) Reachable(start *ir.Node) map[*ir.Node]bool {
+	seen := make(map[*ir.Node]bool)
+	var stack []*ir.Node
+	stack = append(stack, g.Succ[start]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.Succ[n]...)
+	}
+	return seen
+}

@@ -1,0 +1,408 @@
+// Package opt implements the flow analyzer's optimization passes
+// (§6.1): local common-subexpression elimination, constant folding,
+// idempotent-operation removal and height reduction on each basic
+// block's dag, plus the global dependence analysis that connects dag
+// nodes across basic blocks.
+package opt
+
+import (
+	"math"
+	"sort"
+
+	"warp/internal/ir"
+	"warp/internal/w2"
+)
+
+// Stats counts the transformations applied, for compiler reports.
+type Stats struct {
+	CSE        int // nodes merged by common-subexpression elimination
+	Folded     int // nodes replaced by constants
+	Idempotent int // identity operations removed
+	Rebalanced int // associative chains rebalanced (height reduction)
+	Dead       int // unused pure nodes deleted
+}
+
+// Total returns the total number of transformations.
+func (s Stats) Total() int { return s.CSE + s.Folded + s.Idempotent + s.Rebalanced + s.Dead }
+
+// Optimize runs the local optimization pipeline on every block of the
+// program, to a fixed point (each round may expose new opportunities).
+func Optimize(p *ir.Program) Stats {
+	var total Stats
+	for _, fn := range p.Funcs {
+		total.Dead += removeDeadWrites(fn)
+		for _, b := range fn.Blocks {
+			for {
+				var s Stats
+				s.Folded += foldConstants(b)
+				s.Idempotent += removeIdentities(b)
+				s.CSE += cse(b)
+				s.Rebalanced += reduceHeight(b)
+				s.Dead += removeDead(b)
+				total.CSE += s.CSE
+				total.Folded += s.Folded
+				total.Idempotent += s.Idempotent
+				total.Rebalanced += s.Rebalanced
+				total.Dead += s.Dead
+				if s.Total() == 0 {
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// replace rewrites every use of old to new within the block, including
+// ordering edges.
+func replace(b *ir.Block, old, new *ir.Node) {
+	for _, n := range b.Nodes {
+		for i, a := range n.Args {
+			if a == old {
+				n.Args[i] = new
+			}
+		}
+		for i, d := range n.Deps {
+			if d == old {
+				n.Deps[i] = new
+			}
+		}
+	}
+}
+
+// isPure reports whether a node has no side effects and depends only on
+// its arguments.
+func isPure(n *ir.Node) bool {
+	switch n.Op {
+	case ir.OpConst, ir.OpFadd, ir.OpFsub, ir.OpFmul, ir.OpFdiv, ir.OpFneg,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpAnd, ir.OpOr, ir.OpNot, ir.OpSelect:
+		return true
+	}
+	return false
+}
+
+// foldConstants evaluates pure operations whose operands are constants.
+// Booleans are represented as 1.0/0.0 during folding.
+func foldConstants(b *ir.Block) int {
+	count := 0
+	for _, n := range b.Nodes {
+		if !isPure(n) || n.Op == ir.OpConst {
+			continue
+		}
+		allConst := true
+		for _, a := range n.Args {
+			if a.Op != ir.OpConst {
+				allConst = false
+				break
+			}
+		}
+		if !allConst {
+			continue
+		}
+		v, ok := evalConst(n)
+		if !ok {
+			continue
+		}
+		n.Op = ir.OpConst
+		n.FVal = v
+		n.Args = nil
+		count++
+	}
+	return count
+}
+
+func evalConst(n *ir.Node) (float64, bool) {
+	arg := func(i int) float64 { return n.Args[i].FVal }
+	boolVal := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch n.Op {
+	case ir.OpFadd:
+		return arg(0) + arg(1), true
+	case ir.OpFsub:
+		return arg(0) - arg(1), true
+	case ir.OpFmul:
+		return arg(0) * arg(1), true
+	case ir.OpFdiv:
+		if arg(1) == 0 {
+			return 0, false // leave runtime semantics alone
+		}
+		return arg(0) / arg(1), true
+	case ir.OpFneg:
+		return -arg(0), true
+	case ir.OpEq:
+		return boolVal(arg(0) == arg(1)), true
+	case ir.OpNe:
+		return boolVal(arg(0) != arg(1)), true
+	case ir.OpLt:
+		return boolVal(arg(0) < arg(1)), true
+	case ir.OpLe:
+		return boolVal(arg(0) <= arg(1)), true
+	case ir.OpGt:
+		return boolVal(arg(0) > arg(1)), true
+	case ir.OpGe:
+		return boolVal(arg(0) >= arg(1)), true
+	case ir.OpAnd:
+		return boolVal(arg(0) != 0 && arg(1) != 0), true
+	case ir.OpOr:
+		return boolVal(arg(0) != 0 || arg(1) != 0), true
+	case ir.OpNot:
+		return boolVal(arg(0) == 0), true
+	case ir.OpSelect:
+		if arg(0) != 0 {
+			return arg(1), true
+		}
+		return arg(2), true
+	}
+	return 0, false
+}
+
+func isConstVal(n *ir.Node, v float64) bool { return n.Op == ir.OpConst && n.FVal == v }
+
+// removeIdentities applies the "idempotent operation removal" of the
+// paper's local optimizer [Allen & Cocke's catalogue]: x+0, x−0, x·1,
+// x/1, select with constant or equal operands, double negation.
+// (x·0 is not folded to 0: IEEE semantics for NaN and infinities would
+// change; the 1986 Warp hardware had no such qualms, but we keep the
+// simulator's arithmetic exact.)
+func removeIdentities(b *ir.Block) int {
+	count := 0
+	for _, n := range b.Nodes {
+		var repl *ir.Node
+		switch n.Op {
+		case ir.OpFadd:
+			if isConstVal(n.Args[1], 0) {
+				repl = n.Args[0]
+			} else if isConstVal(n.Args[0], 0) {
+				repl = n.Args[1]
+			}
+		case ir.OpFsub:
+			if isConstVal(n.Args[1], 0) {
+				repl = n.Args[0]
+			}
+		case ir.OpFmul:
+			if isConstVal(n.Args[1], 1) {
+				repl = n.Args[0]
+			} else if isConstVal(n.Args[0], 1) {
+				repl = n.Args[1]
+			}
+		case ir.OpFdiv:
+			if isConstVal(n.Args[1], 1) {
+				repl = n.Args[0]
+			}
+		case ir.OpFneg:
+			if n.Args[0].Op == ir.OpFneg {
+				repl = n.Args[0].Args[0]
+			}
+		case ir.OpNot:
+			if n.Args[0].Op == ir.OpNot {
+				repl = n.Args[0].Args[0]
+			}
+		case ir.OpSelect:
+			switch {
+			case isConstVal(n.Args[0], 1):
+				repl = n.Args[1]
+			case isConstVal(n.Args[0], 0):
+				repl = n.Args[2]
+			case n.Args[1] == n.Args[2]:
+				repl = n.Args[1]
+			}
+		}
+		if repl != nil && repl != n {
+			replace(b, n, repl)
+			count++
+		}
+	}
+	return count
+}
+
+// cseKey identifies structurally equal pure nodes.
+type cseKey struct {
+	op     ir.Op
+	a0, a1 int
+	fval   float64
+}
+
+// cse merges structurally identical pure nodes (local value numbering).
+// Commutative operands are ordered canonically first.
+func cse(b *ir.Block) int {
+	count := 0
+	seen := make(map[cseKey]*ir.Node)
+	for _, n := range b.Nodes {
+		if !isPure(n) {
+			continue
+		}
+		if n.Op.IsCommutative() && len(n.Args) == 2 && n.Args[0].ID > n.Args[1].ID {
+			n.Args[0], n.Args[1] = n.Args[1], n.Args[0]
+		}
+		k := cseKey{op: n.Op, fval: n.FVal, a0: -1, a1: -1}
+		if len(n.Args) > 0 {
+			k.a0 = n.Args[0].ID
+		}
+		if len(n.Args) > 1 {
+			k.a1 = n.Args[1].ID
+		}
+		if n.Op == ir.OpSelect {
+			// Three operands: fold the third into fval slot-free key by
+			// chaining; handled separately below.
+			k.fval = float64(n.Args[2].ID)
+		}
+		if prev, ok := seen[k]; ok && prev != n {
+			replace(b, n, prev)
+			count++
+			continue
+		}
+		seen[k] = n
+	}
+	return count
+}
+
+// removeDeadWrites deletes block-exit writes of scalars that are never
+// read back anywhere in the function: their value lives entirely inside
+// the defining block, so the home-register write-back is dead.  (The
+// flow-insensitive test keeps any scalar with a read somewhere, which
+// conservatively covers loop-carried uses.)
+func removeDeadWrites(fn *ir.Func) int {
+	read := map[*w2.Symbol]bool{}
+	for _, b := range fn.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpRead {
+				read[n.Sym] = true
+			}
+		}
+	}
+	count := 0
+	for _, b := range fn.Blocks {
+		kept := b.Nodes[:0]
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpWrite && !read[n.Sym] {
+				count++
+				continue
+			}
+			kept = append(kept, n)
+		}
+		b.Nodes = kept
+	}
+	return count
+}
+
+// removeDead deletes pure nodes with no remaining uses.
+func removeDead(b *ir.Block) int {
+	used := make(map[*ir.Node]bool)
+	for _, n := range b.Nodes {
+		for _, a := range n.Args {
+			used[a] = true
+		}
+		for _, d := range n.Deps {
+			used[d] = true
+		}
+	}
+	kept := b.Nodes[:0]
+	count := 0
+	for _, n := range b.Nodes {
+		if isPure(n) && !used[n] {
+			count++
+			continue
+		}
+		kept = append(kept, n)
+	}
+	b.Nodes = kept
+	return count
+}
+
+// reduceHeight rebalances chains of a single associative, commutative
+// operation (fadd or fmul) into balanced trees, shortening the critical
+// path through deeply pipelined arithmetic units [Patel & Davidson;
+// Rau & Glaeser].  Only interior nodes with exactly one use may be
+// restructured.
+func reduceHeight(b *ir.Block) int {
+	uses := make(map[*ir.Node]int)
+	for _, n := range b.Nodes {
+		for _, a := range n.Args {
+			uses[a]++
+		}
+		for _, d := range n.Deps {
+			uses[d]++
+		}
+	}
+	count := 0
+	for _, root := range b.Nodes {
+		if (root.Op != ir.OpFadd && root.Op != ir.OpFmul) || len(root.Args) != 2 {
+			continue
+		}
+		// Collect the maximal single-use chain of the same op.
+		var leaves []*ir.Node
+		var interior []*ir.Node
+		var collect func(n *ir.Node, isRoot bool)
+		collect = func(n *ir.Node, isRoot bool) {
+			if n.Op == root.Op && (isRoot || uses[n] == 1) {
+				if !isRoot {
+					interior = append(interior, n)
+				}
+				collect(n.Args[0], false)
+				collect(n.Args[1], false)
+				return
+			}
+			leaves = append(leaves, n)
+		}
+		collect(root, true)
+		if len(leaves) < 4 {
+			continue
+		}
+		// Height of the existing tree vs. balanced height.
+		depth := chainDepth(root, root.Op, uses)
+		balanced := ceilLog2(len(leaves))
+		if depth <= balanced {
+			continue
+		}
+		// Rebuild as a balanced tree, reusing the interior nodes.
+		sort.SliceStable(leaves, func(i, j int) bool { return leaves[i].ID < leaves[j].ID })
+		nodes := leaves
+		avail := interior
+		for len(nodes) > 1 {
+			var next []*ir.Node
+			for i := 0; i+1 < len(nodes); i += 2 {
+				var parent *ir.Node
+				if len(nodes) == 2 {
+					parent = root
+				} else {
+					parent = avail[0]
+					avail = avail[1:]
+				}
+				parent.Args = []*ir.Node{nodes[i], nodes[i+1]}
+				next = append(next, parent)
+			}
+			if len(nodes)%2 == 1 {
+				next = append(next, nodes[len(nodes)-1])
+			}
+			nodes = next
+		}
+		count++
+	}
+	return count
+}
+
+func chainDepth(n *ir.Node, op ir.Op, uses map[*ir.Node]int) int {
+	if n.Op != op {
+		return 0
+	}
+	d := 0
+	for _, a := range n.Args {
+		ad := 0
+		if a.Op == op && uses[a] == 1 {
+			ad = chainDepth(a, op, uses)
+		}
+		if ad > d {
+			d = ad
+		}
+	}
+	return d + 1
+}
+
+func ceilLog2(n int) int {
+	return int(math.Ceil(math.Log2(float64(n))))
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"warp/internal/mcode"
+)
+
+// TestAluAllCodes drives every FPU operation through a cell and checks
+// value and latency.
+func TestAluAllCodes(t *testing.T) {
+	cases := []struct {
+		code mcode.AluCode
+		a, b float64
+		c    float64 // third operand for select
+		want float64
+	}{
+		{mcode.Fadd, 2, 3, 0, 5},
+		{mcode.Fsub, 2, 3, 0, -1},
+		{mcode.Fneg, 2, 0, 0, -2},
+		{mcode.Fmul, 2, 3, 0, 6},
+		{mcode.Fdiv, 6, 3, 0, 2},
+		{mcode.CmpEQ, 2, 2, 0, 1},
+		{mcode.CmpEQ, 2, 3, 0, 0},
+		{mcode.CmpNE, 2, 3, 0, 1},
+		{mcode.CmpLT, 2, 3, 0, 1},
+		{mcode.CmpLE, 3, 3, 0, 1},
+		{mcode.CmpGT, 2, 3, 0, 0},
+		{mcode.CmpGE, 3, 3, 0, 1},
+		{mcode.BoolAnd, 1, 0, 0, 0},
+		{mcode.BoolAnd, 1, 2, 0, 1},
+		{mcode.BoolOr, 0, 0, 0, 0},
+		{mcode.BoolOr, 0, 5, 0, 1},
+		{mcode.BoolNot, 0, 0, 0, 1},
+		{mcode.BoolNot, 7, 0, 0, 0},
+		{mcode.Sel, 1, 10, 20, 10},
+		{mcode.Sel, 0, 10, 20, 20},
+		{mcode.Mov, 9, 0, 0, 9},
+	}
+	for _, tc := range cases {
+		c := &cell{}
+		c.regs[1], c.regs[2], c.regs[3] = tc.a, tc.b, tc.c
+		op := &mcode.AluOp{Code: tc.code, Dst: 5, Src: [3]mcode.Reg{1, 2, 3}}
+		if err := c.alu(op, 100); err != nil {
+			t.Fatalf("%s: %v", tc.code, err)
+		}
+		if len(c.pending) != 1 {
+			t.Fatalf("%s: %d pending writes", tc.code, len(c.pending))
+		}
+		w := c.pending[0]
+		if w.val != tc.want {
+			t.Errorf("%s(%v,%v,%v) = %v, want %v", tc.code, tc.a, tc.b, tc.c, w.val, tc.want)
+		}
+		if w.land != 100+tc.code.Latency() {
+			t.Errorf("%s lands at %d, want %d", tc.code, w.land, 100+tc.code.Latency())
+		}
+	}
+}
+
+// TestAluDivByZero is a machine fault.
+func TestAluDivByZero(t *testing.T) {
+	c := &cell{}
+	op := &mcode.AluOp{Code: mcode.Fdiv, Dst: 5, Src: [3]mcode.Reg{1, 2}}
+	if err := c.alu(op, 0); err == nil {
+		t.Error("divide by zero must fault")
+	}
+}
+
+// TestIUAluSemantics drives the IU's adder through the machine step.
+func TestIUAluSemantics(t *testing.T) {
+	iu := &mcode.IUProgram{Items: []mcode.IUItem{
+		&mcode.IUStraight{Instrs: []*mcode.IUInstr{
+			{Imm: &mcode.IUImm{Dst: 0, Value: 10}},
+			{Alu: &mcode.IUAlu{Dst: 1, A: 0, BIsImm: true, ImmVal: 5}},
+			{Alu: &mcode.IUAlu{Dst: 2, A: 1, B: 0, Sub: true}},
+			{Out: [mcode.MemPorts]*mcode.IUOut{{Src: 2}}},
+		}},
+	}}
+	// One cell popping the address into a load.
+	sym := dummySym()
+	cellProg := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.Straight{Instrs: []*mcode.Instr{
+			{}, {}, {},
+			{Mem: [mcode.MemPorts]*mcode.MemOp{{Store: false, Reg: 1, Addr: mcode.AddrInfo{Sym: sym}}}},
+		}},
+	}}
+	_, err := Run(Config{
+		Cells: 1, Cell: cellProg, IU: iu,
+		Host: emptyHost(), Lead: 1,
+	})
+	// Address = (10+5) − 10 = 5, inside memory: run must succeed.
+	if err != nil {
+		t.Fatalf("IU arithmetic produced a bad address: %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// stepCell executes one cycle of one cell.
+func (m *machine) stepCell(c *cell, stats *Stats) error {
+	if c.done || m.now < c.start {
+		return nil
+	}
+
+	// Register writes and memory stores landing this cycle become
+	// visible before any read.
+	keptR := c.pending[:0]
+	for _, w := range c.pending {
+		if w.land <= m.now {
+			c.regs[w.reg] = w.val
+		} else {
+			keptR = append(keptR, w)
+		}
+	}
+	c.pending = keptR
+	keptM := c.stores[:0]
+	for _, w := range c.stores {
+		if w.land <= m.now {
+			c.mem[w.addr] = w.val
+		} else {
+			keptM = append(keptM, w)
+		}
+	}
+	c.stores = keptM
+
+	in, ends, done := c.seq.step()
+	if done {
+		c.done = true
+		stats.CellFinish[c.idx] = m.now
+		return nil
+	}
+
+	if err := m.execCellInstr(c, in); err != nil {
+		return fmt.Errorf("cell %d: %w", c.idx, err)
+	}
+
+	// Loop boundaries: pop one IU control signal per boundary,
+	// innermost first, and forward it down the array.
+	for _, end := range ends {
+		s, err := c.sig.pop()
+		if err != nil {
+			return fmt.Errorf("cell %d, loop L%d: %w", c.idx, end.id, err)
+		}
+		if s.id != end.id || s.more != end.more {
+			return fmt.Errorf("cell %d: loop signal mismatch: sequencer at L%d(more=%v), IU sent L%d(more=%v)",
+				c.idx, end.id, end.more, s.id, s.more)
+		}
+		if c.idx+1 < len(m.cells) {
+			if err := m.cells[c.idx+1].sig.push(s); err != nil {
+				return err
+			}
+		}
+	}
+
+	if c.seq.done() {
+		c.done = true
+		stats.CellFinish[c.idx] = m.now
+	}
+	return nil
+}
+
+func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
+	// Queue operations.
+	for _, io := range in.IO {
+		if io.Recv {
+			if io.Dir != w2.DirL {
+				return fmt.Errorf("sim: receive from the right is not supported (rightward flow only)")
+			}
+			q := c.inX
+			if io.Chan == w2.ChanY {
+				q = c.inY
+			}
+			v, err := q.pop()
+			if err != nil {
+				return err
+			}
+			c.pending = append(c.pending, regWrite{reg: io.Reg, val: v, land: m.now + 1})
+		} else {
+			if io.Dir != w2.DirR {
+				return fmt.Errorf("sim: send to the left is not supported (rightward flow only)")
+			}
+			v := c.regs[io.Reg]
+			if c.idx+1 < len(m.cells) {
+				next := m.cells[c.idx+1]
+				q := next.inX
+				if io.Chan == w2.ChanY {
+					q = next.inY
+				}
+				if err := q.push(v); err != nil {
+					return err
+				}
+			} else if err := m.hostCollect(io.Chan, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Memory references: addresses pop from the Adr queue and are
+	// forwarded systolically to the next cell.
+	for _, mo := range in.Mem {
+		if mo == nil {
+			continue
+		}
+		addr, err := c.adr.pop()
+		if err != nil {
+			return err
+		}
+		if c.idx+1 < len(m.cells) {
+			if err := m.cells[c.idx+1].adr.push(addr); err != nil {
+				return err
+			}
+		}
+		if addr < 0 || addr >= int64(len(c.mem)) {
+			return fmt.Errorf("sim: address %d outside the %d-word cell memory (IU generated a bad address for %s)",
+				addr, len(c.mem), mo.Addr)
+		}
+		if mo.Store {
+			c.stores = append(c.stores, memWrite{addr: addr, val: c.regs[mo.Reg], land: m.now + 1})
+		} else {
+			c.pending = append(c.pending, regWrite{reg: mo.Reg, val: c.mem[addr], land: m.now + 1})
+		}
+	}
+
+	// FPU fields.
+	if in.Add != nil {
+		m.addOps++
+		if err := c.alu(in.Add, m.now); err != nil {
+			return err
+		}
+	}
+	if in.Mul != nil {
+		m.mulOps++
+		if err := c.alu(in.Mul, m.now); err != nil {
+			return err
+		}
+	}
+	if in.Mov != nil {
+		if err := c.alu(in.Mov, m.now); err != nil {
+			return err
+		}
+	}
+
+	if in.Lit != nil {
+		c.pending = append(c.pending, regWrite{reg: in.Lit.Dst, val: in.Lit.Value, land: m.now + 1})
+	}
+	return nil
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// alu evaluates one FPU field, scheduling the result register write at
+// the unit's latency.
+func (c *cell) alu(op *mcode.AluOp, now int64) error {
+	a := c.regs[op.Src[0]]
+	b := c.regs[op.Src[1]]
+	var v float64
+	switch op.Code {
+	case mcode.Fadd:
+		v = a + b
+	case mcode.Fsub:
+		v = a - b
+	case mcode.Fneg:
+		v = -a
+	case mcode.Fmul:
+		v = a * b
+	case mcode.Fdiv:
+		if b == 0 {
+			return fmt.Errorf("sim: floating divide by zero")
+		}
+		v = a / b
+	case mcode.CmpEQ:
+		v = boolToF(a == b)
+	case mcode.CmpNE:
+		v = boolToF(a != b)
+	case mcode.CmpLT:
+		v = boolToF(a < b)
+	case mcode.CmpLE:
+		v = boolToF(a <= b)
+	case mcode.CmpGT:
+		v = boolToF(a > b)
+	case mcode.CmpGE:
+		v = boolToF(a >= b)
+	case mcode.BoolAnd:
+		v = boolToF(a != 0 && b != 0)
+	case mcode.BoolOr:
+		v = boolToF(a != 0 || b != 0)
+	case mcode.BoolNot:
+		v = boolToF(a == 0)
+	case mcode.Sel:
+		if a != 0 {
+			v = b
+		} else {
+			v = c.regs[op.Src[2]]
+		}
+	case mcode.Mov:
+		v = a
+	default:
+		return fmt.Errorf("sim: unknown ALU code %v", op.Code)
+	}
+	c.pending = append(c.pending, regWrite{reg: op.Dst, val: v, land: now + op.Code.Latency()})
+	return nil
+}

@@ -1,0 +1,201 @@
+package sim
+
+import "warp/internal/mcode"
+
+// exec.go implements structured-program sequencers: the control state
+// of a cell or the IU, stepping one microinstruction per cycle through
+// nested counted loops.
+
+// loopEnd is a loop-body boundary crossed after an instruction: the
+// cell's sequencer pops one IU control signal per boundary and checks
+// it against the statically expected decision.
+type loopEnd struct {
+	id   int  // loop ID
+	more bool // another iteration follows
+}
+
+// cellSeq sequences a cell microprogram.
+type cellSeq struct {
+	stack []cellFrame
+}
+
+type cellFrame struct {
+	items []mcode.CodeItem
+	idx   int
+	instr int
+	loop  *mcode.LoopItem // nil for the top-level frame
+	iter  int64
+}
+
+func newCellSeq(p *mcode.CellProgram) *cellSeq {
+	return &cellSeq{stack: []cellFrame{{items: p.Items}}}
+}
+
+// step returns the next instruction to execute together with the loop
+// boundaries crossed immediately after it; done reports program end.
+func (s *cellSeq) step() (in *mcode.Instr, ends []loopEnd, done bool) {
+	in = s.fetch()
+	if in == nil {
+		return nil, nil, true
+	}
+	ends = s.advance()
+	return in, ends, false
+}
+
+// fetch descends to the current instruction without advancing.
+func (s *cellSeq) fetch() *mcode.Instr {
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
+		if f.idx >= len(f.items) {
+			// Only reachable for an empty top-level program.
+			s.stack = s.stack[:len(s.stack)-1]
+			continue
+		}
+		switch it := f.items[f.idx].(type) {
+		case *mcode.Straight:
+			if len(it.Instrs) == 0 {
+				f.idx++
+				continue
+			}
+			return it.Instrs[f.instr]
+		case *mcode.LoopItem:
+			s.stack = append(s.stack, cellFrame{items: it.Body, loop: it})
+		}
+	}
+	return nil
+}
+
+// advance moves past the instruction just executed, unwinding loop
+// boundaries and recording them innermost first.
+func (s *cellSeq) advance() []loopEnd {
+	var ends []loopEnd
+	f := &s.stack[len(s.stack)-1]
+	st := f.items[f.idx].(*mcode.Straight)
+	f.instr++
+	if f.instr < len(st.Instrs) {
+		return nil
+	}
+	f.instr = 0
+	f.idx++
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
+		if f.idx < len(f.items) {
+			// Skip empty straights that would stall the walk.
+			if st, ok := f.items[f.idx].(*mcode.Straight); ok && len(st.Instrs) == 0 {
+				f.idx++
+				continue
+			}
+			break
+		}
+		if f.loop != nil {
+			more := f.iter+1 < f.loop.Trips
+			ends = append(ends, loopEnd{id: f.loop.ID, more: more})
+			if more {
+				f.iter++
+				f.idx = 0
+				f.instr = 0
+				break
+			}
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+		if len(s.stack) > 0 {
+			parent := &s.stack[len(s.stack)-1]
+			parent.idx++
+		}
+	}
+	return ends
+}
+
+// done reports whether the program has finished.
+func (s *cellSeq) done() bool {
+	return s.fetch() == nil
+}
+
+// iuSeq sequences the IU microprogram.  IU loops carry no signals of
+// their own; they simply repeat their static trip count.
+type iuSeq struct {
+	stack []iuFrame
+}
+
+type iuFrame struct {
+	items []mcode.IUItem
+	idx   int
+	instr int
+	loop  *mcode.IULoop
+	iter  int64
+}
+
+func newIUSeq(p *mcode.IUProgram) *iuSeq {
+	return &iuSeq{stack: []iuFrame{{items: p.Items}}}
+}
+
+// step returns the next IU instruction together with the current
+// iteration of the innermost enclosing IU loop (0 outside loops), or
+// done when finished.
+func (s *iuSeq) step() (in *mcode.IUInstr, iter int64, done bool) {
+	in = s.fetch()
+	if in == nil {
+		return nil, 0, true
+	}
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if s.stack[i].loop != nil {
+			iter = s.stack[i].iter
+			break
+		}
+	}
+	s.advance()
+	return in, iter, false
+}
+
+func (s *iuSeq) fetch() *mcode.IUInstr {
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
+		if f.idx >= len(f.items) {
+			s.stack = s.stack[:len(s.stack)-1]
+			continue
+		}
+		switch it := f.items[f.idx].(type) {
+		case *mcode.IUStraight:
+			if len(it.Instrs) == 0 {
+				f.idx++
+				continue
+			}
+			return it.Instrs[f.instr]
+		case *mcode.IULoop:
+			s.stack = append(s.stack, iuFrame{items: it.Body, loop: it})
+		}
+	}
+	return nil
+}
+
+func (s *iuSeq) advance() {
+	f := &s.stack[len(s.stack)-1]
+	st := f.items[f.idx].(*mcode.IUStraight)
+	f.instr++
+	if f.instr < len(st.Instrs) {
+		return
+	}
+	f.instr = 0
+	f.idx++
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
+		if f.idx < len(f.items) {
+			if st, ok := f.items[f.idx].(*mcode.IUStraight); ok && len(st.Instrs) == 0 {
+				f.idx++
+				continue
+			}
+			break
+		}
+		if f.loop != nil && f.iter+1 < f.loop.Trips {
+			f.iter++
+			f.idx = 0
+			f.instr = 0
+			break
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+		if len(s.stack) > 0 {
+			parent := &s.stack[len(s.stack)-1]
+			parent.idx++
+		}
+	}
+}

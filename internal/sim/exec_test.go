@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"warp/internal/mcode"
+)
+
+func straight(n int) *mcode.Straight {
+	s := &mcode.Straight{}
+	for i := 0; i < n; i++ {
+		s.Instrs = append(s.Instrs, &mcode.Instr{})
+	}
+	return s
+}
+
+// TestCellSeqStraight walks a straight-line program.
+func TestCellSeqStraight(t *testing.T) {
+	p := &mcode.CellProgram{Items: []mcode.CodeItem{straight(3)}}
+	s := newCellSeq(p)
+	for i := 0; i < 3; i++ {
+		in, ends, done := s.step()
+		if done || in == nil {
+			t.Fatalf("step %d: done early", i)
+		}
+		if len(ends) != 0 {
+			t.Fatalf("step %d: unexpected loop ends", i)
+		}
+	}
+	if _, _, done := s.step(); !done {
+		t.Fatal("program should be finished")
+	}
+}
+
+// TestCellSeqLoop checks loop-boundary events: one per iteration, with
+// more=false on the last.
+func TestCellSeqLoop(t *testing.T) {
+	p := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.LoopItem{ID: 7, Trips: 3, Body: []mcode.CodeItem{straight(2)}},
+	}}
+	s := newCellSeq(p)
+	var events []loopEnd
+	steps := 0
+	for {
+		_, ends, done := s.step()
+		if done {
+			break
+		}
+		steps++
+		events = append(events, ends...)
+	}
+	if steps != 6 {
+		t.Errorf("executed %d instructions, want 6", steps)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d loop events, want 3", len(events))
+	}
+	for i, e := range events {
+		wantMore := i < 2
+		if e.id != 7 || e.more != wantMore {
+			t.Errorf("event %d = %+v, want id=7 more=%v", i, e, wantMore)
+		}
+	}
+}
+
+// TestCellSeqNestedLoops checks that inner and outer boundaries are
+// reported innermost first when they coincide.
+func TestCellSeqNestedLoops(t *testing.T) {
+	inner := &mcode.LoopItem{ID: 1, Trips: 2, Body: []mcode.CodeItem{straight(1)}}
+	outer := &mcode.LoopItem{ID: 0, Trips: 2, Body: []mcode.CodeItem{inner}}
+	p := &mcode.CellProgram{Items: []mcode.CodeItem{outer}}
+	s := newCellSeq(p)
+	var events []loopEnd
+	steps := 0
+	for {
+		_, ends, done := s.step()
+		if done {
+			break
+		}
+		steps++
+		events = append(events, ends...)
+	}
+	if steps != 4 {
+		t.Errorf("executed %d instructions, want 4", steps)
+	}
+	// Expected events per step:
+	// step 1: inner more=true
+	// step 2: inner more=false, outer more=true
+	// step 3: inner more=true
+	// step 4: inner more=false, outer more=false
+	want := []loopEnd{
+		{1, true},
+		{1, false}, {0, true},
+		{1, true},
+		{1, false}, {0, false},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(events), events, len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// TestIUSeqNestedLoops checks the IU sequencer's repetition counts.
+func TestIUSeqNestedLoops(t *testing.T) {
+	body := &mcode.IUStraight{Instrs: []*mcode.IUInstr{{}, {}}}
+	inner := &mcode.IULoop{ID: 1, Trips: 3, Body: []mcode.IUItem{body}}
+	outer := &mcode.IULoop{ID: 0, Trips: 2, Body: []mcode.IUItem{inner, &mcode.IUStraight{Instrs: []*mcode.IUInstr{{}}}}}
+	p := &mcode.IUProgram{Items: []mcode.IUItem{outer}}
+	s := newIUSeq(p)
+	steps := 0
+	for {
+		_, _, done := s.step()
+		if done {
+			break
+		}
+		steps++
+	}
+	want := 2 * (3*2 + 1)
+	if steps != want {
+		t.Errorf("executed %d IU instructions, want %d", steps, want)
+	}
+}
+
+// TestQueueLimits exercises the bounded FIFO directly.
+func TestQueueLimits(t *testing.T) {
+	q := newQueue[int]("t", 2)
+	if _, err := q.pop(); err == nil {
+		t.Error("pop of empty queue must underflow")
+	}
+	if err := q.push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(3); err == nil {
+		t.Error("third push must overflow")
+	}
+	v, err := q.pop()
+	if err != nil || v != 1 {
+		t.Errorf("pop = %d, %v; want 1", v, err)
+	}
+	if q.len() != 1 {
+		t.Errorf("len = %d, want 1", q.len())
+	}
+}

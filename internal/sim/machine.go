@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"fmt"
+
+	"warp/internal/hostgen"
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// Config assembles everything needed to run a compiled program on the
+// simulated machine.
+type Config struct {
+	Cells int
+	Cell  *mcode.CellProgram
+	IU    *mcode.IUProgram
+	Host  *hostgen.Program
+	// Skew is the cycle delay between adjacent cells' start times.
+	Skew int64
+	// Lead is the number of cycles cell 0 starts after the IU
+	// (the IU prologue plus one transfer cycle).
+	Lead int64
+	// HostMem is the host memory image: inputs pre-loaded, outputs
+	// written during the run.
+	HostMem []float64
+	// MaxCycles aborts a runaway simulation (default 1<<28).
+	MaxCycles int64
+}
+
+// Stats reports the outcome of a run.
+type Stats struct {
+	Cycles int64 // total cycles until the last cell finished
+	// CellFinish is the absolute cycle each cell finished at.
+	CellFinish []int64
+	// MaxQueue is the maximum occupancy observed over all data queues.
+	MaxQueue int
+	// Sent counts words delivered to the host per channel.
+	Sent map[w2.Channel]int
+	// AddOps and MulOps count FPU field issues summed over all cells;
+	// with per-cell active time they give the arithmetic-unit
+	// utilization the paper quotes ("all the arithmetic units are
+	// fully utilized in the innermost loop", §7).
+	AddOps int64
+	MulOps int64
+	// CellActive is the total number of cell-active cycles (sum over
+	// cells of finish−start).
+	CellActive int64
+}
+
+type sigItem struct {
+	id   int
+	more bool
+}
+
+// cell is the runtime state of one Warp cell.
+type cell struct {
+	idx   int
+	seq   *cellSeq
+	start int64
+	done  bool
+
+	regs    [mcode.NumRegs]float64
+	pending []regWrite
+	mem     []float64
+	// delayed stores become visible the cycle after issue
+	stores []memWrite
+
+	inX, inY *queue[float64]
+	adr      *queue[int64]
+	sig      *queue[sigItem]
+}
+
+type regWrite struct {
+	reg  mcode.Reg
+	val  float64
+	land int64
+}
+
+type memWrite struct {
+	addr int64
+	val  float64
+	land int64
+}
+
+// machine is the full simulated Warp system.
+type machine struct {
+	cfg       Config
+	cells     []*cell
+	iu        *iuSeq
+	iuReg     [mcode.IUNumRegs]int64
+	iuPending []iuRegWrite
+	table     []int64
+	tblPos    int
+
+	hostInPos  map[w2.Channel]int
+	hostOutPos map[w2.Channel]int
+
+	now      int64
+	maxQueue int
+	sent     map[w2.Channel]int
+	addOps   int64
+	mulOps   int64
+}
+
+type iuRegWrite struct {
+	reg  mcode.IUReg
+	val  int64
+	land int64
+}
+
+// Run executes the configuration to completion and returns statistics.
+// Any violation of the machine's static contracts — queue underflow or
+// overflow, a loop signal that contradicts the sequencer, a host stream
+// exhausted early — is an error.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("sim: need at least one cell")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 28
+	}
+	m := &machine{
+		cfg:        cfg,
+		iu:         newIUSeq(cfg.IU),
+		table:      cfg.IU.Table,
+		hostInPos:  map[w2.Channel]int{},
+		hostOutPos: map[w2.Channel]int{},
+		sent:       map[w2.Channel]int{},
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		c := &cell{
+			idx:   i,
+			seq:   newCellSeq(cfg.Cell),
+			start: cfg.Lead + int64(i)*cfg.Skew,
+			mem:   make([]float64, mcode.MemWords),
+			inX:   newQueue[float64](fmt.Sprintf("cell%d.X", i), mcode.QueueDepth),
+			inY:   newQueue[float64](fmt.Sprintf("cell%d.Y", i), mcode.QueueDepth),
+			adr:   newQueue[int64](fmt.Sprintf("cell%d.Adr", i), mcode.QueueDepth),
+			sig:   newQueue[sigItem](fmt.Sprintf("cell%d.Sig", i), mcode.QueueDepth),
+		}
+		m.cells = append(m.cells, c)
+	}
+
+	stats := &Stats{CellFinish: make([]int64, cfg.Cells), Sent: m.sent}
+	for {
+		allDone := true
+		for _, c := range m.cells {
+			if !c.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		if m.now > cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles; the machine is livelocked", cfg.MaxCycles)
+		}
+		if err := m.cycle(stats); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", m.now, err)
+		}
+		m.now++
+	}
+	stats.Cycles = m.now
+	stats.MaxQueue = m.maxQueue
+	stats.AddOps = m.addOps
+	stats.MulOps = m.mulOps
+	for _, c := range m.cells {
+		stats.CellActive += stats.CellFinish[c.idx] - c.start
+	}
+	return stats, nil
+}
+
+// cycle executes one global clock tick: the IU, the host, then every
+// cell left to right, so that a word pushed upstream is poppable
+// downstream within the same cycle.
+func (m *machine) cycle(stats *Stats) error {
+	if err := m.stepIU(); err != nil {
+		return err
+	}
+	if err := m.stepHostIn(); err != nil {
+		return err
+	}
+	for _, c := range m.cells {
+		if err := m.stepCell(c, stats); err != nil {
+			return err
+		}
+	}
+	m.trackQueues()
+	return nil
+}
+
+func (m *machine) trackQueues() {
+	for _, c := range m.cells {
+		for _, q := range []*queue[float64]{c.inX, c.inY} {
+			if q.len() > m.maxQueue {
+				m.maxQueue = q.len()
+			}
+		}
+	}
+}
+
+// stepIU executes one IU microinstruction.
+func (m *machine) stepIU() error {
+	// Apply pending register writes landing this cycle.
+	kept := m.iuPending[:0]
+	for _, w := range m.iuPending {
+		if w.land <= m.now {
+			m.iuReg[w.reg] = w.val
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.iuPending = kept
+
+	in, iter, done := m.iu.step()
+	if done {
+		return nil
+	}
+	cell0 := m.cells[0]
+	for _, out := range in.Out {
+		if out == nil {
+			continue
+		}
+		var v int64
+		if out.FromTable {
+			if m.tblPos >= len(m.table) {
+				return fmt.Errorf("sim: IU table read past its %d entries", len(m.table))
+			}
+			v = m.table[m.tblPos]
+			m.tblPos++
+		} else {
+			v = m.iuReg[out.Src]
+		}
+		if err := cell0.adr.push(v); err != nil {
+			return err
+		}
+	}
+	if in.Sig != nil {
+		more := in.Sig.Continue
+		if !in.Sig.Static {
+			// The termination decision the IU's counter work pays for
+			// (§6.3.1): cell iteration iter·M + Copy of CellTrips.
+			more = iter*in.Sig.M+in.Sig.Copy < in.Sig.CellTrips-1
+		}
+		if err := cell0.sig.push(sigItem{id: in.Sig.LoopID, more: more}); err != nil {
+			return err
+		}
+	}
+	if in.Imm != nil {
+		m.iuPending = append(m.iuPending, iuRegWrite{reg: in.Imm.Dst, val: in.Imm.Value, land: m.now + 1})
+	}
+	if in.Alu != nil {
+		a := m.iuReg[in.Alu.A]
+		b := in.Alu.ImmVal
+		if !in.Alu.BIsImm {
+			b = m.iuReg[in.Alu.B]
+		}
+		v := a + b
+		if in.Alu.Sub {
+			v = a - b
+		}
+		m.iuPending = append(m.iuPending, iuRegWrite{reg: in.Alu.Dst, val: v, land: m.now + 1})
+	}
+	return nil
+}
+
+// stepHostIn feeds at most one word per channel per cycle into cell 0.
+func (m *machine) stepHostIn() error {
+	c0 := m.cells[0]
+	for _, ch := range []w2.Channel{w2.ChanX, w2.ChanY} {
+		seq := m.cfg.Host.In[ch]
+		pos := m.hostInPos[ch]
+		if pos >= len(seq) {
+			continue
+		}
+		q := c0.inX
+		if ch == w2.ChanY {
+			q = c0.inY
+		}
+		if q.len() >= mcode.QueueDepth {
+			continue // backpressure: the host waits
+		}
+		w := seq[pos]
+		v := w.Value
+		if !w.Literal {
+			if w.Index < 0 || w.Index >= len(m.cfg.HostMem) {
+				return fmt.Errorf("sim: host input index %d outside host memory of %d words", w.Index, len(m.cfg.HostMem))
+			}
+			v = m.cfg.HostMem[w.Index]
+		}
+		if err := q.push(v); err != nil {
+			return err
+		}
+		m.hostInPos[ch] = pos + 1
+	}
+	return nil
+}
+
+// hostCollect receives one word from the last cell on a channel.
+func (m *machine) hostCollect(ch w2.Channel, v float64) error {
+	seq := m.cfg.Host.Out[ch]
+	pos := m.hostOutPos[ch]
+	if pos >= len(seq) {
+		return fmt.Errorf("sim: the last cell sent more words on %s than the host program expects (%d)", ch, len(seq))
+	}
+	if idx := seq[pos]; idx != hostgen.Discard {
+		if idx < 0 || idx >= len(m.cfg.HostMem) {
+			return fmt.Errorf("sim: host output index %d outside host memory of %d words", idx, len(m.cfg.HostMem))
+		}
+		m.cfg.HostMem[idx] = v
+	}
+	m.hostOutPos[ch] = pos + 1
+	m.sent[ch]++
+	return nil
+}

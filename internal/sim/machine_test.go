@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/hostgen"
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// handProg builds a tiny cell program by hand: receive a word from X,
+// double it through the ADD unit... (actually via Mov) and send it on.
+func passProgram() *mcode.CellProgram {
+	return &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.Straight{Instrs: []*mcode.Instr{
+			{IO: []*mcode.IOOp{{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 1}}},
+			{IO: []*mcode.IOOp{{Recv: false, Dir: w2.DirR, Chan: w2.ChanX, Reg: 1}}},
+		}},
+	}}
+}
+
+func hostFor(n int) *hostgen.Program {
+	h := &hostgen.Program{
+		In:  map[w2.Channel][]hostgen.Word{},
+		Out: map[w2.Channel][]int{},
+	}
+	for i := 0; i < n; i++ {
+		h.In[w2.ChanX] = append(h.In[w2.ChanX], hostgen.Word{Index: i})
+		h.Out[w2.ChanX] = append(h.Out[w2.ChanX], n+i)
+	}
+	return h
+}
+
+// TestRunHandProgram pushes one word through three cells.
+func TestRunHandProgram(t *testing.T) {
+	mem := []float64{42, 0}
+	stats, err := Run(Config{
+		Cells:   3,
+		Cell:    passProgram(),
+		IU:      &mcode.IUProgram{},
+		Host:    hostFor(1),
+		Skew:    1,
+		Lead:    1,
+		HostMem: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[1] != 42 {
+		t.Errorf("host received %v, want 42", mem[1])
+	}
+	if stats.Sent[w2.ChanX] != 1 {
+		t.Errorf("sent %d words, want 1", stats.Sent[w2.ChanX])
+	}
+	// Cell i finishes roughly i*skew later.
+	if stats.CellFinish[2] <= stats.CellFinish[0] {
+		t.Errorf("cell finish times not skewed: %v", stats.CellFinish)
+	}
+}
+
+// TestRunDetectsUnderflow: a cell receiving a word nobody sends.
+func TestRunDetectsUnderflow(t *testing.T) {
+	prog := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.Straight{Instrs: []*mcode.Instr{
+			{IO: []*mcode.IOOp{{Recv: true, Dir: w2.DirL, Chan: w2.ChanY, Reg: 1}}},
+		}},
+	}}
+	_, err := Run(Config{
+		Cells: 1,
+		Cell:  prog,
+		IU:    &mcode.IUProgram{},
+		Host:  &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}},
+		Lead:  1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("err = %v, want queue underflow", err)
+	}
+}
+
+// TestRunDetectsSignalMismatch: the IU sends a wrong loop decision.
+func TestRunDetectsSignalMismatch(t *testing.T) {
+	cellProg := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.LoopItem{ID: 0, Trips: 2, Body: []mcode.CodeItem{
+			&mcode.Straight{Instrs: []*mcode.Instr{{}, {}, {}}},
+		}},
+	}}
+	// IU claims the loop stops after the first iteration.
+	iu := &mcode.IUProgram{Items: []mcode.IUItem{
+		&mcode.IUStraight{Instrs: []*mcode.IUInstr{
+			{Sig: &mcode.IUSig{LoopID: 0, Static: true, Continue: false}},
+			{Sig: &mcode.IUSig{LoopID: 0, Static: true, Continue: false}},
+		}},
+	}}
+	_, err := Run(Config{
+		Cells: 1,
+		Cell:  cellProg,
+		IU:    iu,
+		Host:  &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}},
+		Lead:  1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "signal mismatch") {
+		t.Errorf("err = %v, want loop signal mismatch", err)
+	}
+}
+
+// TestRunDetectsMissingSignal: cells block when the IU never sends the
+// loop decision.
+func TestRunDetectsMissingSignal(t *testing.T) {
+	cellProg := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.LoopItem{ID: 0, Trips: 2, Body: []mcode.CodeItem{
+			&mcode.Straight{Instrs: []*mcode.Instr{{}}},
+		}},
+	}}
+	_, err := Run(Config{
+		Cells: 1,
+		Cell:  cellProg,
+		IU:    &mcode.IUProgram{},
+		Host:  &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}},
+		Lead:  1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("err = %v, want signal-queue underflow", err)
+	}
+}
+
+// TestRunDetectsBadAddress: the IU emits an address outside cell
+// memory.
+func TestRunDetectsBadAddress(t *testing.T) {
+	sym := &w2.Symbol{Name: "buf", Kind: w2.SymCellArray}
+	cellProg := &mcode.CellProgram{Items: []mcode.CodeItem{
+		&mcode.Straight{Instrs: []*mcode.Instr{
+			{Mem: [mcode.MemPorts]*mcode.MemOp{{Store: false, Reg: 1, Addr: mcode.AddrInfo{Sym: sym}}}},
+		}},
+	}}
+	iu := &mcode.IUProgram{Items: []mcode.IUItem{
+		&mcode.IUStraight{Instrs: []*mcode.IUInstr{
+			{Imm: &mcode.IUImm{Dst: 0, Value: 99999}},
+			{Out: [mcode.MemPorts]*mcode.IUOut{{Src: 0}}},
+		}},
+	}}
+	_, err := Run(Config{
+		Cells: 1,
+		Cell:  cellProg,
+		IU:    iu,
+		Host:  &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}},
+		Lead:  3,
+	})
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("err = %v, want address range error", err)
+	}
+}
+
+// TestRunHostBackpressure: the host waits when the first cell's queue
+// is full instead of overflowing it.
+func TestRunHostBackpressure(t *testing.T) {
+	// A cell consuming one word every 4 cycles while the host offers
+	// 200 words: the queue would overflow without backpressure.
+	var items []mcode.CodeItem
+	items = append(items, &mcode.LoopItem{ID: 0, Trips: 200, Body: []mcode.CodeItem{
+		&mcode.Straight{Instrs: []*mcode.Instr{
+			{IO: []*mcode.IOOp{{Recv: true, Dir: w2.DirL, Chan: w2.ChanX, Reg: 1}}},
+			{}, {}, {},
+		}},
+	}})
+	host := &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}}
+	mem := make([]float64, 200)
+	for i := range mem {
+		host.In[w2.ChanX] = append(host.In[w2.ChanX], hostgen.Word{Index: i})
+	}
+	iu := &mcode.IUProgram{Items: []mcode.IUItem{
+		&mcode.IUStraight{Instrs: signalInstrs(200, 4)},
+	}}
+	stats, err := Run(Config{
+		Cells: 1, Cell: &mcode.CellProgram{Items: items}, IU: iu,
+		Host: host, Lead: 1, HostMem: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxQueue > mcode.QueueDepth {
+		t.Errorf("queue exceeded hardware depth: %d", stats.MaxQueue)
+	}
+}
+
+// signalInstrs paces one loop signal per cell iteration of bodyLen
+// cycles (the real IU code generator achieves the same pacing by
+// mirroring the cell program's structure).
+func signalInstrs(trips, bodyLen int) []*mcode.IUInstr {
+	var out []*mcode.IUInstr
+	for i := 0; i < trips; i++ {
+		out = append(out, &mcode.IUInstr{Sig: &mcode.IUSig{LoopID: 0, Static: true, Continue: i < trips-1}})
+		for p := 1; p < bodyLen; p++ {
+			out = append(out, &mcode.IUInstr{})
+		}
+	}
+	return out
+}
+
+// emptyHost returns a host program with no traffic.
+func emptyHost() *hostgen.Program {
+	return &hostgen.Program{In: map[w2.Channel][]hostgen.Word{}, Out: map[w2.Channel][]int{}}
+}
+
+// dummySym returns a throwaway cell-array symbol.
+func dummySym() *w2.Symbol {
+	return &w2.Symbol{Name: "buf", Kind: w2.SymCellArray}
+}

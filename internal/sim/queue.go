@@ -1,0 +1,55 @@
+// Package sim is a cycle-accurate simulator of the Warp machine (§2):
+// a linear array of identical microprogrammed cells in lock step with a
+// global clock, an interface unit generating addresses and loop control
+// signals, and a host feeding and collecting the data streams.
+//
+// The simulator is the reproduction's stand-in for the 1986 hardware:
+// compiled microcode runs cycle by cycle, and every guarantee the
+// compiler must establish — no queue underflow or overflow, addresses
+// and signals arriving in time, correct skew — is checked dynamically,
+// turning scheduling bugs into simulation errors instead of silently
+// wrong numbers.
+//
+// Timing model (matching the paper's examples, e.g. Figure 6-3 where an
+// output and its matching input share a cycle):
+//
+//   - agents execute each cycle in upstream-to-downstream order
+//     (IU, host, cell 0, cell 1, ...), so a word pushed at cycle t can
+//     be popped by the downstream agent in the same cycle t;
+//   - register writes land at issue+latency (1 for moves, literals,
+//     loads and receives; FPULatency for FPU results);
+//   - memory stores become visible the cycle after issue.
+package sim
+
+import "fmt"
+
+// queue is a bounded FIFO with underflow/overflow detection.
+type queue[T any] struct {
+	name  string
+	cap   int
+	items []T
+}
+
+func newQueue[T any](name string, capacity int) *queue[T] {
+	return &queue[T]{name: name, cap: capacity}
+}
+
+func (q *queue[T]) push(v T) error {
+	if len(q.items) >= q.cap {
+		return fmt.Errorf("sim: queue %s overflows its %d words", q.name, q.cap)
+	}
+	q.items = append(q.items, v)
+	return nil
+}
+
+func (q *queue[T]) pop() (T, error) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, fmt.Errorf("sim: queue %s underflows (receive before the matching send)", q.name)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, nil
+}
+
+func (q *queue[T]) len() int { return len(q.items) }

@@ -1,0 +1,295 @@
+package skew
+
+import (
+	"fmt"
+)
+
+// This file computes the minimum skew between adjacent cells: the
+// smallest delay of the downstream cell's start such that every receive
+// executes no earlier than its matching send (§6.2.1).
+//
+//	minimum skew = max over n of ( τ_O(n) − τ_I(n) )
+//
+// where τ_O times the nth output of the upstream cell's program and τ_I
+// the nth input of the downstream cell's program.  Two methods are
+// provided: exact enumeration (ground truth; cost proportional to the
+// number of dynamic I/O operations) and the paper's cheap pairwise
+// bound over the closed-form timing functions (cost proportional to the
+// number of static I/O statement pairs, independent of trip counts).
+
+// Overlap classifies how the domains of an output statement and an
+// input statement relate (§6.2.1).
+type Overlap int
+
+// Overlap classes.
+const (
+	// Disjoint: no datum produced by the output statement is read by
+	// the input statement.
+	Disjoint Overlap = iota
+	// Complete: every datum produced by the output statement is read by
+	// the input statement.
+	Complete
+	// Partial: some but not all are.
+	Partial
+	// Unknown: the domains were too large to classify cheaply; treated
+	// as Partial for bounding purposes.
+	Unknown
+)
+
+func (o Overlap) String() string {
+	switch o {
+	case Disjoint:
+		return "disjoint"
+	case Complete:
+		return "completely overlapped"
+	case Partial:
+		return "partially overlapped"
+	}
+	return "unknown"
+}
+
+// BoundMode selects how pairwise bounds treat mod terms.
+type BoundMode int
+
+// Bound modes.
+const (
+	// BoundPaper reproduces the paper's recipe (§6.2.1's partially
+	// overlapped example): positive-coefficient mod terms take their
+	// pinned value when the owning domain pins them, otherwise their
+	// maximum; negative-coefficient terms are dropped (lower-bounded by
+	// zero).
+	BoundPaper BoundMode = iota
+	// BoundTight additionally uses pinned values for negative
+	// coefficients, which is still sound and never looser.
+	BoundTight
+)
+
+// classifyLimit bounds the enumeration effort spent classifying a pair's
+// domain overlap exactly.
+const classifyLimit = 1 << 14
+
+// PairBound is the result of analyzing one (output statement, input
+// statement) pair.
+type PairBound struct {
+	Out, In *Vectors
+	Overlap Overlap
+	// Bound is a sound upper bound on τ_O(n)−τ_I(n) over the common
+	// domain; meaningless when Overlap is Disjoint.
+	Bound Rat
+}
+
+// AnalyzePair classifies the domain overlap of an output/input statement
+// pair and bounds their time difference.
+func AnalyzePair(out, in *Vectors, mode BoundMode) PairBound {
+	if out.Kind != Output || in.Kind != Input {
+		panic("skew: AnalyzePair wants (output, input) vectors")
+	}
+	tfO, tfI := NewTimingFunc(out), NewTimingFunc(in)
+	pb := PairBound{Out: out, In: in}
+	pb.Overlap = classify(tfO, tfI)
+	if pb.Overlap == Disjoint {
+		return pb
+	}
+	pb.Bound = pairBound(tfO, tfI, mode)
+	return pb
+}
+
+// classify determines the overlap class.  Small domains are enumerated
+// exactly; for larger ones a cheap interval test detects some disjoint
+// pairs and the rest are Unknown.
+func classify(tfO, tfI *TimingFunc) Overlap {
+	loO, hiO := tfO.DomainMin(), tfO.DomainMax()
+	loI, hiI := tfI.DomainMin(), tfI.DomainMax()
+	if hiO < loI || hiI < loO {
+		return Disjoint
+	}
+	if tfO.DomainSize() <= classifyLimit {
+		var common, outOnly int64
+		tfO.DomainEach(func(n int64) bool {
+			if tfI.Contains(n) {
+				common++
+			} else {
+				outOnly++
+			}
+			return true
+		})
+		switch {
+		case common == 0:
+			return Disjoint
+		case outOnly == 0:
+			return Complete
+		default:
+			return Partial
+		}
+	}
+	return Unknown
+}
+
+// pairBound computes the paper's upper bound on τ_O(n)−τ_I(n):
+// the difference of the two symbolic forms, with n at the endpoint of
+// the intersected ordinal interval selected by the sign of its
+// coefficient and each mod term replaced by an extreme (or pinned)
+// value.
+func pairBound(tfO, tfI *TimingFunc, mode BoundMode) Rat {
+	symO, symI := tfO.Symbolic(), tfI.Symbolic()
+	c0 := symO.Const.Sub(symI.Const)
+	c1 := symO.CoefN.Sub(symI.CoefN)
+
+	lo := max64(tfO.DomainMin(), tfI.DomainMin())
+	hi := min64(tfO.DomainMax(), tfI.DomainMax())
+	nStar := hi
+	if c1.Sign() < 0 {
+		nStar = lo
+	}
+	bound := c0.Add(c1.MulI(nStar))
+
+	addTerm := func(m ModTerm, negate bool) {
+		coef := m.Coef
+		if negate {
+			coef = coef.Neg()
+		}
+		var val int64
+		switch {
+		case coef.Sign() > 0:
+			if m.Pinned {
+				val = m.PinVal
+			} else {
+				val = m.MaxVal
+			}
+		case mode == BoundTight && m.Pinned:
+			val = m.PinVal
+		default:
+			// Negative coefficient: the term is ≥ 0, so dropping it
+			// (value 0) can only increase the bound.
+			val = 0
+		}
+		bound = bound.Add(coef.MulI(val))
+	}
+	for _, m := range symO.Mods {
+		addTerm(m, false)
+	}
+	for _, m := range symI.Mods {
+		addTerm(m, true)
+	}
+	return bound
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MinSkewExact computes the exact minimum skew between the upstream
+// cell's output program and the downstream cell's input program by
+// enumerating every matched send/receive pair.  The result may be
+// negative (the downstream cell could even start early); callers clamp
+// as appropriate.  The two programs must perform the same number of
+// operations.
+func MinSkewExact(out, in *Prog) (int64, error) {
+	to := out.Times(Output)
+	ti := in.Times(Input)
+	if len(to) != len(ti) {
+		return 0, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", len(to), len(ti))
+	}
+	if len(to) == 0 {
+		return 0, nil
+	}
+	best := to[0] - ti[0]
+	for n := 1; n < len(to); n++ {
+		if d := to[n] - ti[n]; d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// MinSkewBound computes the paper's cheap upper bound on the minimum
+// skew: the maximum pairwise bound over every (output statement, input
+// statement) pair with potentially overlapping domains.  It also
+// returns the per-pair analyses for reporting.
+//
+// A branch-and-bound prefilter (suggested in §6.2.1) skips the detailed
+// bound for pairs whose coarse bound — latest output time minus earliest
+// input time over the respective domains — cannot beat the current
+// maximum.
+func MinSkewBound(out, in *Prog, mode BoundMode) (Rat, []PairBound, error) {
+	co, ci := out.Count(Output), in.Count(Input)
+	if co != ci {
+		return Rat{}, nil, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", co, ci)
+	}
+	outStmts := Statements(out, Output)
+	inStmts := Statements(in, Input)
+	var pairs []PairBound
+	have := false
+	var best Rat
+	for _, o := range outStmts {
+		tfO := NewTimingFunc(o)
+		maxO, ok := tfO.Eval(tfO.DomainMax())
+		if !ok {
+			panic("skew: domain max outside domain")
+		}
+		for _, i := range inStmts {
+			tfI := NewTimingFunc(i)
+			minI, ok := tfI.Eval(tfI.DomainMin())
+			if !ok {
+				panic("skew: domain min outside domain")
+			}
+			if have && RI(maxO-minI).Cmp(best) <= 0 {
+				// Coarse bound cannot improve the maximum.
+				continue
+			}
+			pb := AnalyzePair(o, i, mode)
+			pairs = append(pairs, pb)
+			if pb.Overlap == Disjoint {
+				continue
+			}
+			if !have || pb.Bound.Cmp(best) > 0 {
+				best = pb.Bound
+				have = true
+			}
+		}
+	}
+	if !have {
+		return RI(0), pairs, nil
+	}
+	return best, pairs, nil
+}
+
+// MinSkew returns the skew the compiler applies between adjacent cells:
+// the exact minimum when the I/O volume is small enough to enumerate,
+// otherwise the ceiling of the pairwise bound, clamped to ≥ 0.
+func MinSkew(out, in *Prog) (int64, error) {
+	const enumLimit = 1 << 20
+	co, ci := out.Count(Output), in.Count(Input)
+	if co != ci {
+		return 0, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", co, ci)
+	}
+	if co <= enumLimit {
+		s, err := MinSkewExact(out, in)
+		if err != nil {
+			return 0, err
+		}
+		if s < 0 {
+			s = 0
+		}
+		return s, nil
+	}
+	b, _, err := MinSkewBound(out, in, BoundPaper)
+	if err != nil {
+		return 0, err
+	}
+	s := b.Ceil()
+	if s < 0 {
+		s = 0
+	}
+	return s, nil
+}

@@ -1,0 +1,36 @@
+package skew
+
+// Constructors for the abstract I/O programs of the paper's worked
+// examples, shared by the tests and the benchmark harness.
+
+// Fig62 is the straight-line program of Figure 6-2:
+//
+//	output / input / input / nop / nop / output
+//
+// with two matched input/output pairs and minimum skew 3 (Table 6-1).
+func Fig62() *Prog {
+	return Build(Out(), In(), In(), Nop(), Nop(), Out())
+}
+
+// Fig64 is the loop program of Figure 6-4:
+//
+//	nop
+//	loop 5 times: input0, input1, nop
+//	nop; nop
+//	loop 2 times: output0, output1
+//	nop; nop
+//	loop 2 times: output2, output3, output4, nop, nop
+//	nop
+//
+// whose timing Tables 6-2, 6-3 and 6-4 tabulate; minimum skew 18.
+func Fig64() *Prog {
+	return Build(
+		Nop(),
+		Rep(5, In(), In(), Nop()),
+		Nop(), Nop(),
+		Rep(2, Out(), Out()),
+		Nop(), Nop(),
+		Rep(2, Out(), Out(), Out(), Nop(), Nop()),
+		Nop(),
+	)
+}

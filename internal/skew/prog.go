@@ -1,0 +1,260 @@
+package skew
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two roles an I/O operation plays in the skew
+// analysis of one channel: inputs (receives) and outputs (sends).
+type Kind int
+
+// I/O kinds.
+const (
+	Input Kind = iota
+	Output
+)
+
+func (k Kind) String() string {
+	if k == Input {
+		return "input"
+	}
+	return "output"
+}
+
+// Elem is an element of a timed I/O program: an operation or a loop.
+type Elem interface {
+	elem()
+}
+
+// Op is one static I/O statement, executed at cycle At relative to the
+// start of the enclosing loop body (or program).
+type Op struct {
+	Kind Kind
+	ID   int // statement identifier, unique per kind within the program
+	At   int64
+}
+
+// Loop is a counted loop starting at cycle At relative to the enclosing
+// body, whose body takes IterLen cycles and executes Trips times,
+// back to back.
+type Loop struct {
+	At      int64
+	Trips   int64
+	IterLen int64
+	Body    []Elem
+}
+
+func (*Op) elem()   {}
+func (*Loop) elem() {}
+
+// Prog is a timed I/O program: the I/O behaviour of one compiled cell
+// program, reduced to the cycle-exact times of its send and receive
+// operations.  Len is the total execution length in cycles.
+type Prog struct {
+	Body []Elem
+	Len  int64
+}
+
+// Validate checks structural invariants: operation times within bounds,
+// loops within their enclosing body, monotone layout, unique IDs.
+func (p *Prog) Validate() error {
+	ids := map[Kind]map[int]bool{Input: {}, Output: {}}
+	if err := validateBody(p.Body, p.Len, ids); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validateBody(body []Elem, length int64, ids map[Kind]map[int]bool) error {
+	for _, e := range body {
+		switch e := e.(type) {
+		case *Op:
+			if e.At < 0 || e.At >= length {
+				return fmt.Errorf("skew: op %s(%d) at cycle %d outside body of %d cycles", e.Kind, e.ID, e.At, length)
+			}
+			if ids[e.Kind][e.ID] {
+				return fmt.Errorf("skew: duplicate %s statement id %d", e.Kind, e.ID)
+			}
+			ids[e.Kind][e.ID] = true
+		case *Loop:
+			if e.Trips < 1 {
+				return fmt.Errorf("skew: loop with %d trips", e.Trips)
+			}
+			if e.IterLen < 1 {
+				return fmt.Errorf("skew: loop with iteration length %d", e.IterLen)
+			}
+			if e.At < 0 || e.At+e.Trips*e.IterLen > length {
+				return fmt.Errorf("skew: loop [%d,%d) outside body of %d cycles", e.At, e.At+e.Trips*e.IterLen, length)
+			}
+			if err := validateBody(e.Body, e.IterLen, ids); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of dynamic operations of the given kind.
+func (p *Prog) Count(k Kind) int64 { return countBody(p.Body, k) }
+
+func countBody(body []Elem, k Kind) int64 {
+	var n int64
+	for _, e := range body {
+		switch e := e.(type) {
+		case *Op:
+			if e.Kind == k {
+				n++
+			}
+		case *Loop:
+			n += e.Trips * countBody(e.Body, k)
+		}
+	}
+	return n
+}
+
+// Times enumerates the execution cycle of every dynamic operation of
+// kind k, in ordinal order: Times(k)[n] is the cycle the nth operation
+// executes, relative to the start of the program.  This is the exact
+// (enumerated) form of the timing function τ; the closed form is
+// computed by Statements/TimingFunc.
+func (p *Prog) Times(k Kind) []int64 {
+	out := make([]int64, 0, p.Count(k))
+	out = appendTimes(out, p.Body, k, 0)
+	return out
+}
+
+func appendTimes(out []int64, body []Elem, k Kind, base int64) []int64 {
+	for _, e := range body {
+		switch e := e.(type) {
+		case *Op:
+			if e.Kind == k {
+				out = append(out, base+e.At)
+			}
+		case *Loop:
+			for i := int64(0); i < e.Trips; i++ {
+				out = appendTimes(out, e.Body, k, base+e.At+i*e.IterLen)
+			}
+		}
+	}
+	return out
+}
+
+// EachTime calls f(n, t) for the nth dynamic operation of kind k
+// executing at cycle t, without materializing the whole sequence.
+// It stops early if f returns false.
+func (p *Prog) EachTime(k Kind, f func(n, t int64) bool) {
+	n := int64(0)
+	eachTime(p.Body, k, 0, &n, f)
+}
+
+func eachTime(body []Elem, k Kind, base int64, n *int64, f func(n, t int64) bool) bool {
+	for _, e := range body {
+		switch e := e.(type) {
+		case *Op:
+			if e.Kind == k {
+				if !f(*n, base+e.At) {
+					return false
+				}
+				*n++
+			}
+		case *Loop:
+			for i := int64(0); i < e.Trips; i++ {
+				if !eachTime(e.Body, k, base+e.At+i*e.IterLen, n, f) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders the program structure.
+func (p *Prog) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prog len=%d\n", p.Len)
+	dumpBody(&sb, p.Body, 1)
+	return sb.String()
+}
+
+func dumpBody(sb *strings.Builder, body []Elem, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, e := range body {
+		switch e := e.(type) {
+		case *Op:
+			fmt.Fprintf(sb, "%s@%d %s(%d)\n", indent, e.At, e.Kind, e.ID)
+		case *Loop:
+			fmt.Fprintf(sb, "%s@%d loop %d times, %d cycles/iter\n", indent, e.At, e.Trips, e.IterLen)
+			dumpBody(sb, e.Body, depth+1)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Builder for abstract instruction-sequence programs (one instruction
+// per cycle), used to transcribe programs like the paper's Figures 6-2
+// and 6-4 directly.
+
+// Item is an element of an abstract instruction sequence.
+type Item interface {
+	itemLen() int64
+}
+
+type nopItem struct{}
+type ioItem struct{ kind Kind }
+type repItem struct {
+	trips int64
+	body  []Item
+}
+
+func (nopItem) itemLen() int64 { return 1 }
+func (ioItem) itemLen() int64  { return 1 }
+func (r repItem) itemLen() int64 {
+	var n int64
+	for _, it := range r.body {
+		n += it.itemLen()
+	}
+	return n * r.trips
+}
+
+// Nop is a one-cycle instruction with no I/O.
+func Nop() Item { return nopItem{} }
+
+// In is a one-cycle input (receive) instruction.
+func In() Item { return ioItem{Input} }
+
+// Out is a one-cycle output (send) instruction.
+func Out() Item { return ioItem{Output} }
+
+// Rep is a loop executing body trips times.
+func Rep(trips int64, body ...Item) Item { return repItem{trips, body} }
+
+// Build assembles an abstract instruction sequence into a timed
+// program.  Statement IDs are assigned in textual order per kind,
+// matching the paper's I(0), I(1), O(0)... numbering.
+func Build(items ...Item) *Prog {
+	ids := map[Kind]*int{Input: new(int), Output: new(int)}
+	body, n := buildItems(items, ids)
+	return &Prog{Body: body, Len: n}
+}
+
+func buildItems(items []Item, ids map[Kind]*int) ([]Elem, int64) {
+	var body []Elem
+	var at int64
+	for _, it := range items {
+		switch it := it.(type) {
+		case nopItem:
+			at++
+		case ioItem:
+			id := ids[it.kind]
+			body = append(body, &Op{Kind: it.kind, ID: *id, At: at})
+			*id++
+			at++
+		case repItem:
+			inner, n := buildItems(it.body, ids)
+			body = append(body, &Loop{At: at, Trips: it.trips, IterLen: n, Body: inner})
+			at += n * it.trips
+		}
+	}
+	return body, at
+}

@@ -1,0 +1,231 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randProg draws a random timed I/O program: a sequence of nops, I/O
+// operations and (possibly nested) loops.  balanced forces equal input
+// and output counts by appending padding pairs.
+func randProg(r *rand.Rand, balanced bool) *Prog {
+	var gen func(depth int, budget *int) []Item
+	gen = func(depth int, budget *int) []Item {
+		var items []Item
+		n := 1 + r.Intn(5)
+		for i := 0; i < n && *budget > 0; i++ {
+			*budget--
+			switch k := r.Intn(6); {
+			case k == 0 && depth < 3:
+				body := gen(depth+1, budget)
+				if len(body) == 0 {
+					body = []Item{Nop()}
+				}
+				items = append(items, Rep(int64(1+r.Intn(4)), body...))
+			case k <= 2:
+				items = append(items, Nop())
+			case k <= 4:
+				items = append(items, In())
+			default:
+				items = append(items, Out())
+			}
+		}
+		return items
+	}
+	budget := 30
+	items := gen(0, &budget)
+	p := Build(items...)
+	if balanced {
+		in, out := p.Count(Input), p.Count(Output)
+		for ; in < out; in++ {
+			items = append(items, In())
+		}
+		for ; out < in; out++ {
+			items = append(items, Out())
+		}
+		p = Build(items...)
+	}
+	return p
+}
+
+// TestQuickClosedFormMatchesEnumeration: for random programs, every
+// statement's closed-form τ (recursive and symbolic) agrees with
+// enumerated times over its whole domain, and the domains of the
+// statements partition the ordinals.
+func TestQuickClosedFormMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProg(r, false)
+		if err := p.Validate(); err != nil {
+			t.Logf("invalid program: %v", err)
+			return false
+		}
+		for _, kind := range []Kind{Input, Output} {
+			times := p.Times(kind)
+			claimed := make([]int, len(times))
+			for _, v := range Statements(p, kind) {
+				tf := NewTimingFunc(v)
+				sym := tf.Symbolic()
+				if tf.DomainSize() == 0 {
+					return false
+				}
+				tf.DomainEach(func(n int64) bool {
+					got, ok := tf.Eval(n)
+					if !ok || n >= int64(len(times)) || got != times[n] {
+						t.Logf("seed %d: %s(%d) τ(%d) mismatch", seed, kind, v.ID, n)
+						claimed[0] = -1000000
+						return false
+					}
+					if sgot, sok := sym.Eval(n); !sok || sgot != got {
+						t.Logf("seed %d: symbolic mismatch at n=%d", seed, n)
+						claimed[0] = -1000000
+						return false
+					}
+					claimed[n]++
+					return true
+				})
+			}
+			for n, c := range claimed {
+				if c != 1 {
+					t.Logf("seed %d: %s ordinal %d claimed %d times", seed, kind, n, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundSound: the pairwise bound is always ≥ the exact
+// minimum skew, in both modes, on random balanced programs.
+func TestQuickBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProg(r, true)
+		if p.Count(Input) == 0 {
+			return true
+		}
+		exact, err := MinSkewExact(p, p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, mode := range []BoundMode{BoundPaper, BoundTight} {
+			b, _, err := MinSkewBound(p, p, mode)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if b.Cmp(RI(exact)) < 0 {
+				t.Logf("seed %d mode %d: bound %s < exact %d", seed, mode, b, exact)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExactSkewIsTightAndSafe: the exact minimum skew passes the
+// occupancy (underflow) check and skew−1 fails it.
+func TestQuickExactSkewIsTightAndSafe(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProg(r, true)
+		if p.Count(Input) == 0 {
+			return true
+		}
+		exact, err := MinSkewExact(p, p)
+		if err != nil {
+			return false
+		}
+		if _, err := MaxOccupancy(p, p, exact); err != nil {
+			t.Logf("seed %d: exact skew %d rejected: %v", seed, exact, err)
+			return false
+		}
+		if _, err := MaxOccupancy(p, p, exact-1); err == nil {
+			t.Logf("seed %d: skew %d (one below exact) accepted", seed, exact-1)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOccupancyMonotone: occupancy never decreases as skew grows,
+// and is bounded by the total transfer count.
+func TestQuickOccupancyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProg(r, true)
+		total := p.Count(Input)
+		if total == 0 {
+			return true
+		}
+		exact, err := MinSkewExact(p, p)
+		if err != nil {
+			return false
+		}
+		prev := int64(-1)
+		for s := exact; s < exact+10; s++ {
+			occ, err := MaxOccupancy(p, p, s)
+			if err != nil {
+				return false
+			}
+			if occ < prev || occ > total {
+				return false
+			}
+			prev = occ
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVectorsConsistency: the vector-derived domain size equals the
+// actual execution count per statement, and τ is strictly increasing on
+// the domain (times advance with ordinals).
+func TestQuickVectorsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProg(r, false)
+		for _, kind := range []Kind{Input, Output} {
+			var sum int64
+			for _, v := range Statements(p, kind) {
+				tf := NewTimingFunc(v)
+				sum += tf.DomainSize()
+				prevT := int64(-1)
+				okAll := true
+				tf.DomainEach(func(n int64) bool {
+					tt, ok := tf.Eval(n)
+					if !ok || tt <= prevT {
+						okAll = false
+						return false
+					}
+					prevT = tt
+					return true
+				})
+				if !okAll {
+					return false
+				}
+			}
+			if sum != p.Count(kind) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

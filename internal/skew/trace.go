@@ -1,0 +1,60 @@
+package skew
+
+import (
+	"fmt"
+	"strings"
+)
+
+// traceEvent is one I/O operation in a rendered trace.
+type traceEvent struct {
+	out bool
+	n   int64
+}
+
+func (e traceEvent) String() string {
+	if e.out {
+		return fmt.Sprintf("output_%d", e.n)
+	}
+	return fmt.Sprintf("input_%d", e.n)
+}
+
+// TwoCellTrace renders two adjacent cells executing with a given skew,
+// in the style of the paper's Figure 6-3: one row per cycle with an
+// I/O event, the upstream cell's operations on the left and the
+// downstream cell's (shifted by the skew) on the right, labelled with
+// their dynamic ordinal numbers.
+func TwoCellTrace(p *Prog, skewCycles int64) string {
+	collect := func(shift int64) map[int64][]traceEvent {
+		m := map[int64][]traceEvent{}
+		p.EachTime(Output, func(n, t int64) bool {
+			m[t+shift] = append(m[t+shift], traceEvent{out: true, n: n})
+			return true
+		})
+		p.EachTime(Input, func(n, t int64) bool {
+			m[t+shift] = append(m[t+shift], traceEvent{out: false, n: n})
+			return true
+		})
+		return m
+	}
+	cell1 := collect(0)
+	cell2 := collect(skewCycles)
+
+	join := func(evs []traceEvent) string {
+		parts := make([]string, len(evs))
+		for i, e := range evs {
+			parts[i] = e.String()
+		}
+		return strings.Join(parts, " ")
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-22s %-22s\n", "Time", "Cell 1", "Cell 2")
+	for t := int64(0); t < p.Len+skewCycles; t++ {
+		c1, c2 := join(cell1[t]), join(cell2[t])
+		if c1 == "" && c2 == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6d %-22s %-22s\n", t, c1, c2)
+	}
+	return sb.String()
+}

@@ -1,0 +1,201 @@
+package w2
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Affine represents an integer expression that is affine in the loop
+// indices of the enclosing loop nest: Const + Σ Coef·var.
+//
+// Every address in a W2 cell program must reduce to this form: the Warp
+// cells have no integer arithmetic, so all addresses are produced by the
+// interface unit, which requires them to be data independent (§6.1).
+// The affine form is also the input to the IU code generator's strength
+// reduction (§6.3.2).
+type Affine struct {
+	Const int64
+	Terms []AffTerm // sorted by Var, no zero coefficients, no duplicates
+}
+
+// AffTerm is one linear term of an affine expression.
+type AffTerm struct {
+	Var  *ForStmt // the loop whose index this term scales
+	Coef int64
+}
+
+// AffConst returns the affine expression for a constant.
+func AffConst(c int64) Affine { return Affine{Const: c} }
+
+// AffVar returns the affine expression for a loop index.
+func AffVar(loop *ForStmt) Affine {
+	return Affine{Terms: []AffTerm{{Var: loop, Coef: 1}}}
+}
+
+func (a Affine) clone() Affine {
+	t := make([]AffTerm, len(a.Terms))
+	copy(t, a.Terms)
+	return Affine{Const: a.Const, Terms: t}
+}
+
+// normalize sorts terms (by loop statement position for determinism) and
+// removes zero coefficients.
+func (a Affine) normalize() Affine {
+	sort.SliceStable(a.Terms, func(i, j int) bool {
+		pi, pj := a.Terms[i].Var.Pos, a.Terms[j].Var.Pos
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+	out := a.Terms[:0]
+	for _, t := range a.Terms {
+		if len(out) > 0 && out[len(out)-1].Var == t.Var {
+			out[len(out)-1].Coef += t.Coef
+		} else {
+			out = append(out, t)
+		}
+	}
+	terms := out[:0]
+	for _, t := range out {
+		if t.Coef != 0 {
+			terms = append(terms, t)
+		}
+	}
+	a.Terms = terms
+	return a
+}
+
+// Add returns a+b.
+func (a Affine) Add(b Affine) Affine {
+	r := a.clone()
+	r.Const += b.Const
+	r.Terms = append(r.Terms, b.Terms...)
+	return r.normalize()
+}
+
+// Sub returns a−b.
+func (a Affine) Sub(b Affine) Affine {
+	r := a.clone()
+	r.Const -= b.Const
+	for _, t := range b.Terms {
+		r.Terms = append(r.Terms, AffTerm{Var: t.Var, Coef: -t.Coef})
+	}
+	return r.normalize()
+}
+
+// Scale returns k·a.
+func (a Affine) Scale(k int64) Affine {
+	r := a.clone()
+	r.Const *= k
+	for i := range r.Terms {
+		r.Terms[i].Coef *= k
+	}
+	return r.normalize()
+}
+
+// IsConst reports whether a has no loop-variant terms.
+func (a Affine) IsConst() bool { return len(a.Terms) == 0 }
+
+// Coef returns the coefficient of the given loop's index (0 if absent).
+func (a Affine) Coef(loop *ForStmt) int64 {
+	for _, t := range a.Terms {
+		if t.Var == loop {
+			return t.Coef
+		}
+	}
+	return 0
+}
+
+// Equal reports structural equality of two normalized affine forms.
+func (a Affine) Equal(b Affine) bool {
+	if a.Const != b.Const || len(a.Terms) != len(b.Terms) {
+		return false
+	}
+	for i := range a.Terms {
+		if a.Terms[i] != b.Terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Range returns the minimum and maximum values a can take given that
+// each loop index v ranges over [lo(v), hi(v)] as recorded in bounds.
+func (a Affine) Range(bounds map[*ForStmt][2]int64) (min, max int64) {
+	min, max = a.Const, a.Const
+	for _, t := range a.Terms {
+		b, ok := bounds[t.Var]
+		if !ok {
+			// Unknown loop: treat conservatively as [0,0]; callers
+			// always supply bounds for loops in scope.
+			continue
+		}
+		lo, hi := t.Coef*b[0], t.Coef*b[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		min += lo
+		max += hi
+	}
+	return min, max
+}
+
+// Subst replaces the given loop's index with a concrete value, folding
+// it into the constant term.
+func (a Affine) Subst(loop *ForStmt, val int64) Affine {
+	r := Affine{Const: a.Const}
+	for _, t := range a.Terms {
+		if t.Var == loop {
+			r.Const += t.Coef * val
+		} else {
+			r.Terms = append(r.Terms, t)
+		}
+	}
+	return r
+}
+
+// Eval evaluates the affine form for concrete index values.
+func (a Affine) Eval(idx map[*ForStmt]int64) int64 {
+	v := a.Const
+	for _, t := range a.Terms {
+		v += t.Coef * idx[t.Var]
+	}
+	return v
+}
+
+// String renders the affine form using loop variable names.
+func (a Affine) String() string {
+	var sb strings.Builder
+	first := true
+	for _, t := range a.Terms {
+		if !first {
+			if t.Coef >= 0 {
+				sb.WriteString(" + ")
+			} else {
+				sb.WriteString(" - ")
+			}
+		} else if t.Coef < 0 {
+			sb.WriteString("-")
+		}
+		first = false
+		c := t.Coef
+		if c < 0 {
+			c = -c
+		}
+		if c != 1 {
+			fmt.Fprintf(&sb, "%d*", c)
+		}
+		sb.WriteString(t.Var.Var)
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&sb, "%d", a.Const)
+	case a.Const > 0:
+		fmt.Fprintf(&sb, " + %d", a.Const)
+	case a.Const < 0:
+		fmt.Fprintf(&sb, " - %d", -a.Const)
+	}
+	return sb.String()
+}

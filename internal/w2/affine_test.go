@@ -1,0 +1,151 @@
+package w2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Loop variables for affine testing: stable identities.
+var (
+	loopI = &ForStmt{Var: "i", Pos: Pos{Line: 1, Col: 1}}
+	loopJ = &ForStmt{Var: "j", Pos: Pos{Line: 2, Col: 1}}
+	loopK = &ForStmt{Var: "k", Pos: Pos{Line: 3, Col: 1}}
+)
+
+// randAffine draws a small random affine form over i, j, k.
+func randAffine(r *rand.Rand) Affine {
+	a := AffConst(int64(r.Intn(21) - 10))
+	for _, l := range []*ForStmt{loopI, loopJ, loopK} {
+		if r.Intn(2) == 1 {
+			a = a.Add(AffVar(l).Scale(int64(r.Intn(9) - 4)))
+		}
+	}
+	return a
+}
+
+func randIdx(r *rand.Rand) map[*ForStmt]int64 {
+	return map[*ForStmt]int64{
+		loopI: int64(r.Intn(11) - 5),
+		loopJ: int64(r.Intn(11) - 5),
+		loopK: int64(r.Intn(11) - 5),
+	}
+}
+
+// TestAffineAlgebraProperties checks with testing/quick that the affine
+// operations agree with pointwise evaluation.
+func TestAffineAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	add := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randAffine(r), randAffine(r)
+		idx := randIdx(r)
+		return a.Add(b).Eval(idx) == a.Eval(idx)+b.Eval(idx)
+	}
+	if err := quick.Check(add, cfg); err != nil {
+		t.Error("Add:", err)
+	}
+
+	sub := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randAffine(r), randAffine(r)
+		idx := randIdx(r)
+		return a.Sub(b).Eval(idx) == a.Eval(idx)-b.Eval(idx)
+	}
+	if err := quick.Check(sub, cfg); err != nil {
+		t.Error("Sub:", err)
+	}
+
+	scale := func(seed int64, k int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randAffine(r)
+		idx := randIdx(r)
+		return a.Scale(int64(k)).Eval(idx) == int64(k)*a.Eval(idx)
+	}
+	if err := quick.Check(scale, cfg); err != nil {
+		t.Error("Scale:", err)
+	}
+
+	subst := func(seed int64, v int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randAffine(r)
+		idx := randIdx(r)
+		idx[loopI] = int64(v)
+		return a.Subst(loopI, int64(v)).Eval(idx) == a.Eval(idx)
+	}
+	if err := quick.Check(subst, cfg); err != nil {
+		t.Error("Subst:", err)
+	}
+}
+
+// TestAffineRangeSound checks Range bounds every evaluation over the
+// declared index rectangles.
+func TestAffineRangeSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randAffine(r)
+		bounds := map[*ForStmt][2]int64{
+			loopI: {0, int64(r.Intn(5))},
+			loopJ: {int64(-r.Intn(3)), int64(r.Intn(3))},
+			loopK: {1, int64(1 + r.Intn(4))},
+		}
+		min, max := a.Range(bounds)
+		// Exhaustive check over the small rectangle.
+		for i := bounds[loopI][0]; i <= bounds[loopI][1]; i++ {
+			for j := bounds[loopJ][0]; j <= bounds[loopJ][1]; j++ {
+				for k := bounds[loopK][0]; k <= bounds[loopK][1]; k++ {
+					v := a.Eval(map[*ForStmt]int64{loopI: i, loopJ: j, loopK: k})
+					if v < min || v > max {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineNormalization(t *testing.T) {
+	a := AffVar(loopI).Add(AffVar(loopI)) // 2i
+	if a.Coef(loopI) != 2 || len(a.Terms) != 1 {
+		t.Errorf("2i not merged: %v", a)
+	}
+	z := AffVar(loopI).Sub(AffVar(loopI))
+	if !z.IsConst() || z.Const != 0 {
+		t.Errorf("i-i not zero: %v", z)
+	}
+}
+
+func TestAffineEqual(t *testing.T) {
+	a := AffVar(loopI).Scale(3).Add(AffConst(7))
+	b := AffConst(7).Add(AffVar(loopI).Scale(3))
+	if !a.Equal(b) {
+		t.Errorf("%v != %v", a, b)
+	}
+	if a.Equal(a.Add(AffConst(1))) {
+		t.Errorf("distinct forms reported equal")
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	cases := []struct {
+		a    Affine
+		want string
+	}{
+		{AffConst(0), "0"},
+		{AffConst(-3), "-3"},
+		{AffVar(loopI), "i"},
+		{AffVar(loopI).Scale(-1), "-i"},
+		{AffVar(loopI).Scale(2).Add(AffVar(loopJ)).Add(AffConst(-5)), "2*i + j - 5"},
+		{AffVar(loopJ).Sub(AffVar(loopI).Scale(4)), "-4*i + j"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

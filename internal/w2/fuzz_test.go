@@ -1,0 +1,70 @@
+package w2
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the front end never panics: any byte string either
+// parses (and then analyzes or errors cleanly) or returns an error.
+// Run with `go test -fuzz=FuzzParse ./internal/w2` to explore; the seed
+// corpus below runs as a regular test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module",
+		"module m () cellprogram (c : 0 : 0) begin end",
+		minimalSeed,
+		"module m (a in)\nfloat a[4];\ncellprogram (c : 0 : 0)\nbegin function f begin float v; v := 1.0; end call f; end",
+		"/* unterminated",
+		"module m (a in)\nfloat a[1];\ncellprogram (c : 0 : 0)\nbegin function f begin int i; for i := 0 to 9999999999999999999 do i := i; end call f; end",
+		"module m (a in) float a[4]; cellprogram (c : 0 : 0) begin function f begin float v; v := ((((((((1.0)))))))); end call f; end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must print and re-parse to the same tree.
+		printed := Print(m)
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form fails to parse: %v\n%s", err, printed)
+		}
+		if !EqualModule(m, m2) {
+			t.Fatalf("round trip changed the tree\n%s", printed)
+		}
+		// Analysis must never panic either.
+		_, _ = Analyze(m)
+	})
+}
+
+const minimalSeed = `
+module polynomial (z in, c in, results out)
+float z[100], c[10];
+float results[100];
+cellprogram (cid : 0 : 9)
+begin
+    function poly
+    begin
+        float coeff, temp, xin, yin, ans;
+        int i;
+        receive (L, X, coeff, c[0]);
+        for i := 1 to 9 do begin
+            receive (L, X, temp, c[i]);
+            send (R, X, temp);
+        end;
+        send (R, X, 0.0);
+        for i := 0 to 99 do begin
+            receive (L, X, xin, z[i]);
+            receive (L, Y, yin, 0.0);
+            send (R, X, xin);
+            ans := coeff + yin*xin;
+            send (R, Y, ans, results[i]);
+        end;
+    end
+    call poly;
+end
+`

@@ -1,0 +1,283 @@
+package w2
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a module back to W2 source text in a canonical layout.
+// Printing a parsed module and re-parsing it yields a structurally
+// identical tree (round-trip property, tested with random programs),
+// which makes Print usable as a formatter (cmd/w2fmt).
+func Print(m *Module) string {
+	p := &printer{}
+	p.module(m)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) module(m *Module) {
+	var params []string
+	for _, pr := range m.Params {
+		mode := "in"
+		if pr.Out {
+			mode = "out"
+		}
+		params = append(params, pr.Name+" "+mode)
+	}
+	p.line("module %s (%s)", m.Name, strings.Join(params, ", "))
+	for _, d := range m.Decls {
+		p.line("%s %s;", d.Type.Base, declarator(d))
+	}
+	p.line("cellprogram (%s : %d : %d)", m.Cells.CellID, m.Cells.First, m.Cells.Last)
+	p.line("begin")
+	p.indent++
+	for _, f := range m.Cells.Funcs {
+		p.function(f)
+	}
+	for _, s := range m.Cells.Body {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("end")
+}
+
+func declarator(d *VarDecl) string {
+	s := d.Name
+	for _, dim := range d.Type.Dims {
+		s += "[" + strconv.Itoa(dim) + "]"
+	}
+	return s
+}
+
+func (p *printer) function(f *FuncDecl) {
+	p.line("function %s", f.Name)
+	p.line("begin")
+	p.indent++
+	// Group locals by base type, arrays separate, preserving order.
+	for _, d := range f.Locals {
+		p.line("%s %s;", d.Type.Base, declarator(d))
+	}
+	for _, s := range f.Body {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("end")
+}
+
+func (p *printer) stmts(body []Stmt) {
+	p.line("begin")
+	p.indent++
+	for _, s := range body {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("end;")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		p.line("%s := %s;", ExprString(s.LHS), ExprString(s.RHS))
+	case *IfStmt:
+		p.line("if %s then", ExprString(s.Cond))
+		p.stmts(s.Then)
+		if len(s.Else) > 0 {
+			p.line("else")
+			p.stmts(s.Else)
+		}
+	case *ForStmt:
+		p.line("for %s := %s to %s do", s.Var, ExprString(s.Lo), ExprString(s.Hi))
+		p.stmts(s.Body)
+	case *ReceiveStmt:
+		if s.External != nil {
+			p.line("receive (%s, %s, %s, %s);", s.Dir, s.Chan, ExprString(s.LHS), ExprString(s.External))
+		} else {
+			p.line("receive (%s, %s, %s);", s.Dir, s.Chan, ExprString(s.LHS))
+		}
+	case *SendStmt:
+		if s.External != nil {
+			p.line("send (%s, %s, %s, %s);", s.Dir, s.Chan, ExprString(s.Value), ExprString(s.External))
+		} else {
+			p.line("send (%s, %s, %s);", s.Dir, s.Chan, ExprString(s.Value))
+		}
+	case *CallStmt:
+		p.line("call %s;", s.Name)
+	case *BlockStmt:
+		p.stmts(s.Body)
+	}
+}
+
+// ExprString renders an expression with explicit parentheses around
+// every binary operation, so precedence survives re-parsing exactly.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		s := e.Name
+		for _, idx := range e.Indices {
+			s += "[" + ExprString(idx) + "]"
+		}
+		return s
+	case *BinExpr:
+		return "(" + ExprString(e.L) + " " + e.Op.String() + " " + ExprString(e.R) + ")"
+	case *UnExpr:
+		if e.Neg {
+			return "(-" + ExprString(e.X) + ")"
+		}
+		return "(not " + ExprString(e.X) + ")"
+	}
+	return "?"
+}
+
+// EqualModule reports structural equality of two modules (positions
+// ignored).  It backs the print/parse round-trip property.
+func EqualModule(a, b *Module) bool {
+	if a.Name != b.Name || len(a.Params) != len(b.Params) || len(a.Decls) != len(b.Decls) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i].Name != b.Params[i].Name || a.Params[i].Out != b.Params[i].Out {
+			return false
+		}
+	}
+	for i := range a.Decls {
+		if !equalDecl(a.Decls[i], b.Decls[i]) {
+			return false
+		}
+	}
+	ca, cb := a.Cells, b.Cells
+	if ca.CellID != cb.CellID || ca.First != cb.First || ca.Last != cb.Last ||
+		len(ca.Funcs) != len(cb.Funcs) || len(ca.Body) != len(cb.Body) {
+		return false
+	}
+	for i := range ca.Funcs {
+		fa, fb := ca.Funcs[i], cb.Funcs[i]
+		if fa.Name != fb.Name || len(fa.Locals) != len(fb.Locals) {
+			return false
+		}
+		for j := range fa.Locals {
+			if !equalDecl(fa.Locals[j], fb.Locals[j]) {
+				return false
+			}
+		}
+		if !equalStmts(fa.Body, fb.Body) {
+			return false
+		}
+	}
+	return equalStmts(ca.Body, cb.Body)
+}
+
+func equalDecl(a, b *VarDecl) bool {
+	if a.Name != b.Name || a.Type.Base != b.Type.Base || len(a.Type.Dims) != len(b.Type.Dims) {
+		return false
+	}
+	for i := range a.Type.Dims {
+		if a.Type.Dims[i] != b.Type.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStmts(a, b []Stmt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalStmt(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStmt(a, b Stmt) bool {
+	switch a := a.(type) {
+	case *AssignStmt:
+		b, ok := b.(*AssignStmt)
+		return ok && equalExpr(a.LHS, b.LHS) && equalExpr(a.RHS, b.RHS)
+	case *IfStmt:
+		b, ok := b.(*IfStmt)
+		return ok && equalExpr(a.Cond, b.Cond) && equalStmts(a.Then, b.Then) && equalStmts(a.Else, b.Else)
+	case *ForStmt:
+		b, ok := b.(*ForStmt)
+		return ok && a.Var == b.Var && equalExpr(a.Lo, b.Lo) && equalExpr(a.Hi, b.Hi) && equalStmts(a.Body, b.Body)
+	case *ReceiveStmt:
+		b, ok := b.(*ReceiveStmt)
+		return ok && a.Dir == b.Dir && a.Chan == b.Chan && equalExpr(a.LHS, b.LHS) && equalOptExpr(a.External, b.External)
+	case *SendStmt:
+		b, ok := b.(*SendStmt)
+		if !ok || a.Dir != b.Dir || a.Chan != b.Chan || !equalExpr(a.Value, b.Value) {
+			return false
+		}
+		if (a.External == nil) != (b.External == nil) {
+			return false
+		}
+		return a.External == nil || equalExpr(a.External, b.External)
+	case *CallStmt:
+		b, ok := b.(*CallStmt)
+		return ok && a.Name == b.Name
+	case *BlockStmt:
+		b, ok := b.(*BlockStmt)
+		return ok && equalStmts(a.Body, b.Body)
+	}
+	return false
+}
+
+func equalOptExpr(a, b Expr) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || equalExpr(a, b)
+}
+
+func equalExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case *IntLit:
+		b, ok := b.(*IntLit)
+		return ok && a.Value == b.Value
+	case *FloatLit:
+		switch b := b.(type) {
+		case *FloatLit:
+			return a.Value == b.Value
+		}
+		return false
+	case *VarRef:
+		b, ok := b.(*VarRef)
+		if !ok || a.Name != b.Name || len(a.Indices) != len(b.Indices) {
+			return false
+		}
+		for i := range a.Indices {
+			if !equalExpr(a.Indices[i], b.Indices[i]) {
+				return false
+			}
+		}
+		return true
+	case *BinExpr:
+		b, ok := b.(*BinExpr)
+		return ok && a.Op == b.Op && equalExpr(a.L, b.L) && equalExpr(a.R, b.R)
+	case *UnExpr:
+		b, ok := b.(*UnExpr)
+		return ok && a.Neg == b.Neg && equalExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package w2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPrintRoundTripPaperProgram: parse → print → parse yields a
+// structurally identical tree.
+func TestPrintRoundTripPaperProgram(t *testing.T) {
+	src := minimal(`
+        receive (L, X, v, xs[0]);
+        for i := 0 to 14 do begin
+            receive (L, X, w, xs[i]);
+            if w < v then begin
+                v := w * 2.0;
+            end else v := (v + w) - 0.5;
+            buf[2] := v;
+            send (R, X, buf[2], ys[i]);
+        end;
+        send (R, X, v, ys[15]);
+`)
+	m1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(m1)
+	m2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if !EqualModule(m1, m2) {
+		t.Fatalf("round trip changed the tree:\n%s", printed)
+	}
+	// Printing must be a fixed point.
+	if Print(m2) != printed {
+		t.Error("printer is not idempotent")
+	}
+}
+
+// randExprSrc builds a random expression string for round-trip fuzzing.
+func randExprSrc(r *rand.Rand, depth int) string {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return []string{"1.5", "0.25", "3.0", "42.0"}[r.Intn(4)]
+		case 1:
+			return []string{"v", "w"}[r.Intn(2)]
+		default:
+			return "buf[1]"
+		}
+	}
+	op := []string{"+", "-", "*", "/"}[r.Intn(4)]
+	return "(" + randExprSrc(r, depth-1) + " " + op + " " + randExprSrc(r, depth-1) + ")"
+}
+
+// TestPrintRoundTripRandom fuzzes the round trip over random statement
+// mixes.
+func TestPrintRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for k := 0; k < 60; k++ {
+		body := ""
+		for n := 1 + r.Intn(6); n > 0; n-- {
+			switch r.Intn(5) {
+			case 0:
+				body += "v := " + randExprSrc(r, 3) + ";\n"
+			case 1:
+				body += "if " + randExprSrc(r, 2) + " < " + randExprSrc(r, 2) +
+					" then w := " + randExprSrc(r, 2) + "; else w := 0.0;\n"
+			case 2:
+				body += "for i := 0 to 3 do begin receive (L, X, v, xs[i]); send (R, X, v); end;\n"
+			case 3:
+				body += "receive (L, Y, w, 0.5);\nsend (R, Y, w);\n"
+			case 4:
+				body += "buf[3] := " + randExprSrc(r, 2) + ";\n"
+			}
+		}
+		src := minimal(body)
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", k, err, src)
+		}
+		printed := Print(m1)
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("program %d re-parse: %v\n%s", k, err, printed)
+		}
+		if !EqualModule(m1, m2) {
+			t.Fatalf("program %d: round trip changed the tree\noriginal:\n%s\nprinted:\n%s", k, src, printed)
+		}
+	}
+}
+
+// TestPrintPreservesSemantics: the printed form of a random program
+// still analyzes identically (same host layout).
+func TestPrintPreservesSemantics(t *testing.T) {
+	src := minimal("receive (L, X, v, xs[3]); send (R, X, v + 1.0, ys[3]);")
+	m1, _ := Parse(src)
+	info1, err := Analyze(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(Print(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2, err := Analyze(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.HostSize != info2.HostSize || len(info1.Uses) != len(info2.Uses) {
+		t.Error("analysis differs after round trip")
+	}
+}

@@ -1,0 +1,176 @@
+// Package w2 implements the front end for the W2 language, the
+// "machine language" of the Warp systolic array described by Gross and
+// Lam in "Compilation for a High-performance Systolic Array" (PLDI 1986).
+//
+// W2 is a simple block-structured language with assignment, conditional
+// and loop statements.  Communication between neighbouring cells is made
+// explicit with asynchronous send and receive primitives; the compiler,
+// not the hardware, guarantees that the synchronous machine honours their
+// blocking semantics.
+package w2
+
+import "fmt"
+
+// TokenKind enumerates the lexical tokens of W2.
+type TokenKind int
+
+// Token kinds.  Keywords mirror the surface syntax used in the paper's
+// Figure 4-1 (module, cellprogram, begin/end, function, call, receive,
+// send, for/to/do, if/then/else) plus the small expression vocabulary.
+const (
+	EOF TokenKind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	MODULE
+	CELLPROGRAM
+	BEGIN
+	END
+	FUNCTION
+	CALL
+	FLOAT
+	INT
+	IF
+	THEN
+	ELSE
+	FOR
+	TO
+	DO
+	RECEIVE
+	SEND
+	IN
+	OUT
+	AND
+	OR
+	NOT
+	DIV // integer division keyword
+	MOD
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	ASSIGN    // :=
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	EQ        // =
+	NE        // <>
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+)
+
+var tokenNames = map[TokenKind]string{
+	EOF:         "end of file",
+	IDENT:       "identifier",
+	INTLIT:      "integer literal",
+	FLOATLIT:    "float literal",
+	MODULE:      "module",
+	CELLPROGRAM: "cellprogram",
+	BEGIN:       "begin",
+	END:         "end",
+	FUNCTION:    "function",
+	CALL:        "call",
+	FLOAT:       "float",
+	INT:         "int",
+	IF:          "if",
+	THEN:        "then",
+	ELSE:        "else",
+	FOR:         "for",
+	TO:          "to",
+	DO:          "do",
+	RECEIVE:     "receive",
+	SEND:        "send",
+	IN:          "in",
+	OUT:         "out",
+	AND:         "and",
+	OR:          "or",
+	NOT:         "not",
+	DIV:         "div",
+	MOD:         "mod",
+	LPAREN:      "(",
+	RPAREN:      ")",
+	LBRACKET:    "[",
+	RBRACKET:    "]",
+	COMMA:       ",",
+	SEMICOLON:   ";",
+	COLON:       ":",
+	ASSIGN:      ":=",
+	PLUS:        "+",
+	MINUS:       "-",
+	STAR:        "*",
+	SLASH:       "/",
+	EQ:          "=",
+	NE:          "<>",
+	LT:          "<",
+	LE:          "<=",
+	GT:          ">",
+	GE:          ">=",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"module":      MODULE,
+	"cellprogram": CELLPROGRAM,
+	"begin":       BEGIN,
+	"end":         END,
+	"function":    FUNCTION,
+	"call":        CALL,
+	"float":       FLOAT,
+	"int":         INT,
+	"if":          IF,
+	"then":        THEN,
+	"else":        ELSE,
+	"for":         FOR,
+	"to":          TO,
+	"do":          DO,
+	"receive":     RECEIVE,
+	"send":        SEND,
+	"in":          IN,
+	"out":         OUT,
+	"and":         AND,
+	"or":          OR,
+	"not":         NOT,
+	"div":         DIV,
+	"mod":         MOD,
+}
+
+// Pos identifies a source location (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position and, for
+// literals and identifiers, its spelling.
+type Token struct {
+	Kind TokenKind
+	Pos  Pos
+	Text string // spelling for IDENT, INTLIT, FLOATLIT
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

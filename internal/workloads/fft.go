@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FFT returns a W2 program computing an n-point complex FFT
+// (decimation in time) on one cell — the computation behind the
+// paper's §2 headline, "a 10-cell Warp can process 1024-point complex
+// fast Fourier transforms at a rate of one FFT every 600 microseconds".
+// n must be a power of two.
+//
+// W2 has no data-dependent control flow, so the program is generated
+// with the structure fully static:
+//
+//   - the input permutation (bit reversal) is expressed as a
+//     log2(n)-deep nest of binary loops: the external host index and
+//     the cell-memory store address are both affine in the bit
+//     variables, with coefficients 2^j and 2^(log2(n)-1-j) — no
+//     bit-twiddling is ever computed at run time;
+//   - each butterfly stage is its own loop nest with compile-time
+//     constants for the group stride and twiddle step, so every memory
+//     address stays affine;
+//   - the twiddle table (n/2 complex factors) streams in from the host
+//     like the polynomial's coefficients and lives in cell memory.
+//
+// Layout: re/im interleaved; the cell needs n (twiddles) + 2n (data)
+// words of its 4K memory, so n ≤ 1024 fits exactly.
+func FFT(n int) string {
+	if n < 2 || n&(n-1) != 0 {
+		panic("workloads.FFT: n must be a power of two >= 2")
+	}
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* %d-point complex FFT on one cell (decimation in time).
+   Twiddles stream into cell memory; the input permutation is a
+   %d-deep binary loop nest with affine addressing. */
+module fft (twid in, x in, y out)
+float twid[%d];
+float x[%d];
+float y[%d];
+cellprogram (cid : 0 : 0)
+begin
+    function fft
+    begin
+        float v, ar, ai, br, bi, wr, wi, tr, ti;
+        float w[%d];
+        float d[%d];
+`, n, logn, n, 2*n, 2*n, n, 2*n)
+
+	// Bit variables b0..b{logn-1} plus re/im selector c and helpers.
+	var ints []string
+	for j := 0; j < logn; j++ {
+		ints = append(ints, fmt.Sprintf("b%d", j))
+	}
+	ints = append(ints, "c", "t", "g", "j", "i")
+	fmt.Fprintf(&b, "        int %s;\n", strings.Join(ints, ", "))
+
+	// Twiddle table: n/2 complex factors, streamed in order.
+	fmt.Fprintf(&b, "        for t := 0 to %d do begin\n", n-1)
+	fmt.Fprintf(&b, "            receive (L, X, v, twid[t]);\n")
+	fmt.Fprintf(&b, "            w[t] := v;\n")
+	fmt.Fprintf(&b, "        end;\n")
+
+	// Input in bit-reversed order: the host external walks x linearly
+	// in bit-reversed sequence while the store address is linear — so
+	// d[] holds the permuted vector and the butterfly stages can run
+	// in natural DIT order.
+	var host, mem []string
+	for j := 0; j < logn; j++ {
+		host = append(host, fmt.Sprintf("%d*b%d", 1<<j, j))
+		mem = append(mem, fmt.Sprintf("%d*b%d", 1<<(logn-1-j), j))
+	}
+	indent := "        "
+	for j := 0; j < logn; j++ {
+		fmt.Fprintf(&b, "%sfor b%d := 0 to 1 do\n", indent, j)
+		indent += "    "
+	}
+	fmt.Fprintf(&b, "%sfor c := 0 to 1 do begin\n", indent)
+	fmt.Fprintf(&b, "%s    receive (L, X, v, x[2*(%s) + c]);\n", indent, strings.Join(mem, " + "))
+	fmt.Fprintf(&b, "%s    d[2*(%s) + c] := v;\n", indent, strings.Join(host, " + "))
+	fmt.Fprintf(&b, "%send;\n", indent)
+
+	// Butterfly stages: stage k has D = 2^k, n/(2D) groups, twiddle
+	// step n/(2D).
+	for k := 0; k < logn; k++ {
+		d := 1 << k
+		groups := n / (2 * d)
+		step := n / (2 * d)
+		fmt.Fprintf(&b, `
+        /* stage %d: butterflies (g*%d + j, g*%d + j + %d), twiddle w[%d*j] */
+        for g := 0 to %d do
+            for j := 0 to %d do begin
+                ar := d[%d*g + 2*j];
+                ai := d[%d*g + 2*j + 1];
+                br := d[%d*g + 2*j + %d];
+                bi := d[%d*g + 2*j + %d];
+                wr := w[%d*j];
+                wi := w[%d*j + 1];
+                tr := wr*br - wi*bi;
+                ti := wr*bi + wi*br;
+                d[%d*g + 2*j] := ar + tr;
+                d[%d*g + 2*j + 1] := ai + ti;
+                d[%d*g + 2*j + %d] := ar - tr;
+                d[%d*g + 2*j + %d] := ai - ti;
+            end;
+`, k, 2*d, 2*d, d, 2*step,
+			groups-1, d-1,
+			4*d, 4*d, 4*d, 2*d, 4*d, 2*d+1,
+			2*step, 2*step,
+			4*d, 4*d, 4*d, 2*d, 4*d, 2*d+1)
+	}
+
+	// Output in natural order.
+	fmt.Fprintf(&b, `
+        for i := 0 to %d do
+            send (R, X, d[i], y[i]);
+    end
+    call fft;
+end
+`, 2*n-1)
+	return b.String()
+}
+
+// FFTPaper is the paper's configuration: 1024 points.
+func FFTPaper() string { return FFT(1024) }
+
+// FFTTwiddles returns the interleaved twiddle table for FFT(n):
+// w[2t], w[2t+1] = cos, -sin of 2πt/n for t < n/2 — n words total.
+func FFTTwiddles(n int) []float64 {
+	out := make([]float64, n)
+	for t := 0; t < n/2; t++ {
+		ang := 2 * math.Pi * float64(t) / float64(n)
+		out[2*t] = math.Cos(ang)
+		out[2*t+1] = -math.Sin(ang)
+	}
+	return out
+}
+
+// FFTRef computes the reference DFT directly (O(n²), exact enough for
+// validation): X[k] = Σ_t x[t]·e^{-2πi·kt/n}, interleaved re/im.
+func FFTRef(x []float64) []float64 {
+	n := len(x) / 2
+	out := make([]float64, 2*n)
+	for k := 0; k < n; k++ {
+		var re, im float64
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			re += x[2*t]*c - x[2*t+1]*s
+			im += x[2*t]*s + x[2*t+1]*c
+		}
+		out[2*k] = re
+		out[2*k+1] = im
+	}
+	return out
+}

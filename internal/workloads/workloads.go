@@ -1,0 +1,396 @@
+// Package workloads generates the W2 sources of the paper's sample
+// programs (Table 7-1) with parametric sizes, plus reference
+// computations for validating simulated results.
+//
+// The paper's configurations are reproduced by the *Paper constructors:
+// 1d-convolution with a kernel of 9 (one kernel element per cell),
+// a binary image operator on 512×512, color separation on 512×512,
+// Mandelbrot on a 32×32 image with 4 iterations on one cell, and
+// polynomial evaluation with one coefficient per cell on ten cells.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Polynomial returns the Figure 4-1 program: ncoef coefficients
+// (one per cell) evaluated over npoints data points.
+func Polynomial(ncoef, npoints int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* Polynomial evaluation (Figure 4-1): Horner's rule, one
+   coefficient per cell. */
+module polynomial (z in, c in, results out)
+float z[%d], c[%d];
+float results[%d];
+cellprogram (cid : 0 : %d)
+begin
+    function poly
+    begin
+        float coeff, temp, xin, yin, ans;
+        int i;
+        receive (L, X, coeff, c[0]);
+        for i := 1 to %d do begin
+            receive (L, X, temp, c[i]);
+            send (R, X, temp);
+        end;
+        send (R, X, 0.0);
+        for i := 0 to %d do begin
+            receive (L, X, xin, z[i]);
+            receive (L, Y, yin, 0.0);
+            send (R, X, xin);
+            ans := coeff + yin*xin;
+            send (R, Y, ans, results[i]);
+        end;
+    end
+    call poly;
+end
+`, npoints, ncoef, npoints, ncoef-1, ncoef-1, npoints-1)
+	return b.String()
+}
+
+// PolynomialPaper is the paper's configuration: 10 coefficients,
+// 100 points, 10 cells.
+func PolynomialPaper() string { return Polynomial(10, 100) }
+
+// PolynomialRef computes the ground truth with Horner's rule.
+func PolynomialRef(z, c []float64) []float64 {
+	out := make([]float64, len(z))
+	for i, x := range z {
+		v := 0.0
+		for _, cv := range c {
+			v = v*x + cv
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Conv1D returns a 1-dimensional convolution with a kernel of size k
+// (one kernel element per cell) over n input points, producing n−k+1
+// valid outputs followed by k−1 boundary values.
+func Conv1D(k, n int) string {
+	// The cell program computes n−1 outputs; the first n−k+1 are the
+	// valid convolution values and the tail mixes in flushed boundary
+	// words, matching what the array physically emits.
+	nout := n - 1
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* 1-dimensional convolution, kernel %d, one kernel element per
+   cell.  Partial sums flow on Y; the data stream flows on X with a
+   one-element delay per cell. */
+module conv1d (x in, w in, results out)
+float x[%d], w[%d];
+float results[%d];
+cellprogram (cid : 0 : %d)
+begin
+    function conv
+    begin
+        float weight, temp, xold, xnew, yin, ans;
+        int i;
+        receive (L, X, weight, w[0]);
+        for i := 1 to %d do begin
+            receive (L, X, temp, w[i]);
+            send (R, X, temp);
+        end;
+        send (R, X, 0.0);
+        receive (L, X, xold, x[0]);
+        for i := 0 to %d do begin
+            receive (L, X, xnew, x[i+1]);
+            receive (L, Y, yin, 0.0);
+            send (R, X, xnew);
+            ans := yin + weight*xold;
+            send (R, Y, ans, results[i]);
+            xold := xnew;
+        end;
+        send (R, X, xold);
+    end
+    call conv;
+end
+`, k, n, k, nout, k-1, k-1, nout-1)
+	return b.String()
+}
+
+// Conv1DPaper is the paper's configuration: kernel 9 on 9 cells; we
+// stream 512 points.
+func Conv1DPaper() string { return Conv1D(9, 512) }
+
+// Conv1DRef computes the valid prefix of the convolution: out[i] =
+// Σ_k w[k]·x[i+k] for i in [0, n−k].  Entries past that are boundary
+// values the caller should ignore.
+func Conv1DRef(x, w []float64) []float64 {
+	n, k := len(x), len(w)
+	out := make([]float64, n-k+1)
+	for i := range out {
+		var s float64
+		for j, wv := range w {
+			s += wv * x[i+j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Binop returns an elementwise binary image operator ((a+b)/2) over a
+// w×h image on a single cell (parallel-mode partitioning across cells
+// is the host's job, §2.2).
+func Binop(w, h int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* Binary operator on a %dx%d image. */
+module binop (a in, b in, res out)
+float a[%d][%d], b[%d][%d];
+float res[%d][%d];
+cellprogram (cid : 0 : 0)
+begin
+    function binop
+    begin
+        float av, bv, r;
+        int i, j;
+        for i := 0 to %d do
+            for j := 0 to %d do begin
+                receive (L, X, av, a[i][j]);
+                receive (L, Y, bv, b[i][j]);
+                r := (av + bv) * 0.5;
+                send (R, X, r, res[i][j]);
+            end;
+    end
+    call binop;
+end
+`, w, h, h, w, h, w, h, w, h-1, w-1)
+	return b.String()
+}
+
+// BinopPaper is the paper's configuration: a 512×512 image.
+func BinopPaper() string { return Binop(512, 512) }
+
+// BinopRef computes the elementwise reference.
+func BinopRef(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (a[i] + b[i]) * 0.5
+	}
+	return out
+}
+
+// ColorSeg returns color separation of a w×h RGB image against ncell
+// reference colors, one per cell: each pixel is labelled with the id of
+// the nearest reference color (squared Euclidean distance).
+func ColorSeg(w, h, ncells int) string {
+	n := w * h
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* Color separation in a %dx%d image based on color values:
+   each cell holds one reference color (r,g,b,id) and the running
+   best distance and class flow on Y. */
+module colorseg (refs in, image in, classes out)
+float refs[%d];
+float image[%d];
+float classes[%d];
+cellprogram (cid : 0 : %d)
+begin
+    function colorseg
+    begin
+        float rr, gg, bb, myid, temp;
+        float r, g, b, dr, dg, db, d, bestd, bestid;
+        int i;
+        receive (L, X, rr, refs[0]);
+        receive (L, X, gg, refs[1]);
+        receive (L, X, bb, refs[2]);
+        receive (L, X, myid, refs[3]);
+        for i := 1 to %d do begin
+            receive (L, X, temp, refs[4*i]);
+            send (R, X, temp);
+            receive (L, X, temp, refs[4*i+1]);
+            send (R, X, temp);
+            receive (L, X, temp, refs[4*i+2]);
+            send (R, X, temp);
+            receive (L, X, temp, refs[4*i+3]);
+            send (R, X, temp);
+        end;
+        send (R, X, 0.0);
+        send (R, X, 0.0);
+        send (R, X, 0.0);
+        send (R, X, 0.0);
+        for i := 0 to %d do begin
+            receive (L, X, r, image[3*i]);
+            receive (L, X, g, image[3*i+1]);
+            receive (L, X, b, image[3*i+2]);
+            receive (L, Y, bestd, 1000000.0);
+            receive (L, Y, bestid, 0.0);
+            send (R, X, r);
+            send (R, X, g);
+            send (R, X, b);
+            dr := r - rr;
+            dg := g - gg;
+            db := b - bb;
+            d := dr*dr + dg*dg + db*db;
+            if d < bestd then begin
+                bestid := myid;
+                bestd := d;
+            end;
+            send (R, Y, bestd);
+            send (R, Y, bestid, classes[i]);
+        end;
+    end
+    call colorseg;
+end
+`, w, h, 4*ncells, 3*n, n, ncells-1, ncells-1, n-1)
+	return b.String()
+}
+
+// ColorSegPaper is the paper's configuration: a 512×512 image on ten
+// cells.
+func ColorSegPaper() string { return ColorSeg(512, 512, 10) }
+
+// ColorSegRef labels each pixel with the nearest reference color's id.
+// refs holds (r,g,b,id) quadruples; image holds (r,g,b) triples.
+func ColorSegRef(refs, image []float64) []float64 {
+	n := len(image) / 3
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r, g, b := image[3*i], image[3*i+1], image[3*i+2]
+		bestd, bestid := 1000000.0, 0.0
+		for c := 0; c+3 < len(refs); c += 4 {
+			dr, dg, db := r-refs[c], g-refs[c+1], b-refs[c+2]
+			d := dr*dr + dg*dg + db*db
+			if d < bestd {
+				bestd, bestid = d, refs[c+3]
+			}
+		}
+		out[i] = bestid
+	}
+	return out
+}
+
+// Mandelbrot returns the Mandelbrot program for an n-pixel image with
+// iters iterations on one cell.  Escaped points are clamped to keep the
+// fixed iteration count numerically tame (W2 forbids dynamic loop
+// bounds, §5.1).
+func Mandelbrot(n, iters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* Mandelbrot for a %d-point image, %d iterations, one cell. */
+module mandelbrot (cxs in, cys in, res out)
+float cxs[%d], cys[%d];
+float res[%d];
+cellprogram (cid : 0 : 0)
+begin
+    function mandel
+    begin
+        float cx, cy, zx, zy, zx2, zy2;
+        int i, k;
+        for i := 0 to %d do begin
+            receive (L, X, cx, cxs[i]);
+            receive (L, Y, cy, cys[i]);
+            zx := 0.0;
+            zy := 0.0;
+            for k := 1 to %d do begin
+                zx2 := zx*zx - zy*zy + cx;
+                zy2 := 2.0*zx*zy + cy;
+                if zx2*zx2 + zy2*zy2 > 4.0 then begin
+                    zx2 := 2.0;
+                    zy2 := 0.0;
+                end;
+                zx := zx2;
+                zy := zy2;
+            end;
+            send (R, X, cx);
+            send (R, Y, zx*zx + zy*zy, res[i]);
+        end;
+    end
+    call mandel;
+end
+`, n, iters, n, n, n, n-1, iters)
+	return b.String()
+}
+
+// MandelbrotPaper is the paper's configuration: 32×32, 4 iterations.
+func MandelbrotPaper() string { return Mandelbrot(32*32, 4) }
+
+// MandelbrotRef computes the clamped-iteration reference.
+func MandelbrotRef(cxs, cys []float64, iters int) []float64 {
+	out := make([]float64, len(cxs))
+	for i := range cxs {
+		zx, zy := 0.0, 0.0
+		for k := 0; k < iters; k++ {
+			zx2 := zx*zx - zy*zy + cxs[i]
+			zy2 := 2*zx*zy + cys[i]
+			if zx2*zx2+zy2*zy2 > 4 {
+				zx2, zy2 = 2, 0
+			}
+			zx, zy = zx2, zy2
+		}
+		out[i] = zx*zx + zy*zy
+	}
+	return out
+}
+
+// Matmul returns an n×n matrix product on n cells: cell k stores row k
+// of B in its local memory during a distribution phase (exercising the
+// IU's address generation), then for each row of A keeps its own
+// element and accumulates partial sums flowing on Y.
+func Matmul(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* %dx%d matrix multiplication on %d cells: C = A x B.
+   Cell k stores B row k in local memory; C[i][j] accumulates along
+   the array. */
+module matmul (a in, bmat in, c out)
+float a[%d][%d], bmat[%d][%d];
+float c[%d][%d];
+cellprogram (cid : 0 : %d)
+begin
+    function matmul
+    begin
+        float brow[%d];
+        float bv, av, temp, yin, ans;
+        int i, j, k;
+        /* Distribution: keep the first row of B that arrives, pass the
+           rest, and send dummies to conserve the stream. */
+        for j := 0 to %d do begin
+            receive (L, X, bv, bmat[0][j]);
+            brow[j] := bv;
+        end;
+        for k := 1 to %d do
+            for j := 0 to %d do begin
+                receive (L, X, temp, bmat[k][j]);
+                send (R, X, temp);
+            end;
+        for j := 0 to %d do
+            send (R, X, 0.0);
+        /* Compute: for each row i of A, keep own element, then
+           accumulate over the columns. */
+        for i := 0 to %d do begin
+            receive (L, X, av, a[i][0]);
+            for k := 1 to %d do begin
+                receive (L, X, temp, a[i][k]);
+                send (R, X, temp);
+            end;
+            send (R, X, 0.0);
+            for j := 0 to %d do begin
+                receive (L, Y, yin, 0.0);
+                ans := yin + av*brow[j];
+                send (R, Y, ans, c[i][j]);
+            end;
+        end;
+    end
+    call matmul;
+end
+`, n, n, n,
+		n, n, n, n, n, n, n-1,
+		n,
+		n-1, n-1, n-1, n-1,
+		n-1, n-1, n-1)
+	return b.String()
+}
+
+// MatmulRef computes the reference product (row-major n×n).
+func MatmulRef(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}

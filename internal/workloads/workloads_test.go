@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warp/internal/w2"
+)
+
+// TestGeneratorsParseAcrossSizes: every workload generator yields
+// parseable, analyzable W2 over a sweep of sizes.
+func TestGeneratorsParseAcrossSizes(t *testing.T) {
+	srcs := []struct {
+		name string
+		src  string
+	}{
+		{"poly-2x4", Polynomial(2, 4)},
+		{"poly-10x100", Polynomial(10, 100)},
+		{"poly-16x1000", Polynomial(16, 1000)},
+		{"conv-3x16", Conv1D(3, 16)},
+		{"conv-9x512", Conv1D(9, 512)},
+		{"binop-4x4", Binop(4, 4)},
+		{"binop-512x512", Binop(512, 512)},
+		{"colorseg-2x2x2", ColorSeg(2, 2, 2)},
+		{"colorseg-512x512x10", ColorSeg(512, 512, 10)},
+		{"mandel-4x1", Mandelbrot(4, 1)},
+		{"mandel-1024x4", Mandelbrot(1024, 4)},
+		{"matmul-2", Matmul(2)},
+		{"matmul-10", Matmul(10)},
+	}
+	for _, tc := range srcs {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := w2.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := w2.Analyze(m); err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+		})
+	}
+}
+
+// TestReferenceFunctions sanity-checks the direct Go references on
+// hand-computable inputs.
+func TestReferenceFunctions(t *testing.T) {
+	// Horner: P(x) = 2x + 3 for coefficients [2,3].
+	p := PolynomialRef([]float64{0, 1, 2}, []float64{2, 3})
+	for i, x := range []float64{0, 1, 2} {
+		if want := 2*x + 3; p[i] != want {
+			t.Errorf("poly(%v) = %v, want %v", x, p[i], want)
+		}
+	}
+	// Convolution: moving sum with kernel [1,1].
+	c := Conv1DRef([]float64{1, 2, 3, 4}, []float64{1, 1})
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("conv[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	// Binop: (a+b)/2.
+	b := BinopRef([]float64{2, 4}, []float64{4, 8})
+	if b[0] != 3 || b[1] != 6 {
+		t.Errorf("binop = %v", b)
+	}
+	// ColorSeg: pixel nearest to the second reference.
+	refs := []float64{0, 0, 0, 5, 10, 10, 10, 7}
+	cls := ColorSegRef(refs, []float64{9, 9, 9})
+	if cls[0] != 7 {
+		t.Errorf("colorseg class = %v, want 7", cls[0])
+	}
+	// Mandelbrot: c = 0 stays at 0.
+	mb := MandelbrotRef([]float64{0}, []float64{0}, 4)
+	if mb[0] != 0 {
+		t.Errorf("mandelbrot(0) = %v", mb[0])
+	}
+	// Matmul 2x2 identity.
+	mm := MatmulRef([]float64{1, 0, 0, 1}, []float64{5, 6, 7, 8}, 2)
+	for i, want := range []float64{5, 6, 7, 8} {
+		if mm[i] != want {
+			t.Errorf("matmul[%d] = %v, want %v", i, mm[i], want)
+		}
+	}
+}
+
+// TestRandomProgramShape: random programs parse, analyze, and their
+// generated inputs have the declared sizes.
+func TestRandomProgramShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 200; k++ {
+		src, inputs := RandomProgram(rng)
+		m, err := w2.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d parse: %v\n%s", k, err, src)
+		}
+		info, err := w2.Analyze(m)
+		if err != nil {
+			t.Fatalf("program %d analyze: %v\n%s", k, err, src)
+		}
+		for _, sym := range info.HostSyms {
+			if sym.Out {
+				continue
+			}
+			if got := len(inputs[sym.Name]); got != sym.Type.Size() {
+				t.Fatalf("program %d: input %s has %d values, declared %d",
+					k, sym.Name, got, sym.Type.Size())
+			}
+			for _, v := range inputs[sym.Name] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("program %d: pathological input value %v", k, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package warp is a reproduction of the W2 optimizing compiler for the
+// CMU Warp systolic array, after Gross & Lam, "Compilation for a
+// High-performance Systolic Array" (PLDI 1986), together with a
+// cycle-accurate simulator of the Warp machine that stands in for the
+// 1986 hardware.
+//
+// The package compiles W2 — a block-structured language with explicit
+// asynchronous send/receive communication between neighbouring cells —
+// into microcode for the Warp cells, for the interface unit (IU) that
+// generates their addresses and loop control signals, and for the host
+// I/O processors.  The compiler bridges the semantic gap between the
+// asynchronous programmer's model and the fully synchronous hardware
+// with the paper's skewed computation model: it computes the minimum
+// start-time skew between adjacent cells so that no receive ever
+// executes before its matching send, and proves the channel queues
+// never overflow.
+//
+// A minimal session:
+//
+//	prog, err := warp.Compile(src, warp.Options{})
+//	out, stats, err := prog.Run(map[string][]float64{"z": z, "c": c})
+//
+// See the examples directory for complete programs and internal/skew
+// for the timing theory.
+package warp
+
+import (
+	"time"
+
+	"warp/internal/driver"
+	"warp/internal/interp"
+	"warp/internal/skew"
+	"warp/internal/w2"
+)
+
+// Options control compilation.
+type Options struct {
+	// NoOptimize disables the local optimizer (CSE, constant folding,
+	// height reduction, idempotent-operation removal).
+	NoOptimize bool
+	// Pipeline enables software pipelining of innermost loops.
+	Pipeline bool
+	// Cells overrides the array size declared by the cellprogram.
+	Cells int
+}
+
+// Program is a compiled W2 module.
+type Program struct {
+	c           *driver.Compiled
+	compileTime time.Duration
+}
+
+// Compile compiles W2 source text through the full pipeline: parsing,
+// semantic analysis, flowgraph construction, local and global flow
+// analysis, communication-cycle checking, cell code generation,
+// minimum-skew and queue-occupancy analysis, IU code generation and
+// host I/O program generation.
+func Compile(src string, opts Options) (*Program, error) {
+	start := time.Now()
+	c, err := driver.Compile(src, driver.Options{
+		NoOptimize: opts.NoOptimize,
+		Pipeline:   opts.Pipeline,
+		Cells:      opts.Cells,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c, compileTime: time.Since(start)}, nil
+}
+
+// RunStats reports a simulation run.
+type RunStats struct {
+	// Cycles is the total machine time until the last cell finished.
+	Cycles int64
+	// MaxQueue is the peak data-queue occupancy observed.
+	MaxQueue int
+	// AddUtilization and MulUtilization are the fractions of
+	// cell-active cycles in which the respective FPU issued an
+	// operation, summed over all cells — the quantity behind the
+	// paper's "all the arithmetic units are fully utilized in the
+	// innermost loop" (§7).
+	AddUtilization float64
+	MulUtilization float64
+}
+
+// Run executes the compiled program on the simulated Warp machine with
+// the given input arrays (keyed by "in" parameter name) and returns the
+// output arrays (keyed by "out" parameter name).
+func (p *Program) Run(inputs map[string][]float64) (map[string][]float64, *RunStats, error) {
+	out, stats, err := driver.Run(p.c, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &RunStats{Cycles: stats.Cycles, MaxQueue: stats.MaxQueue}
+	if stats.CellActive > 0 {
+		rs.AddUtilization = float64(stats.AddOps) / float64(stats.CellActive)
+		rs.MulUtilization = float64(stats.MulOps) / float64(stats.CellActive)
+	}
+	return out, rs, nil
+}
+
+// Interpret executes the program under the reference interpreter (the
+// programmer's model semantics, no compilation), for validating
+// simulated results.
+func (p *Program) Interpret(inputs map[string][]float64) (map[string][]float64, error) {
+	return interp.Run(p.c.Info, inputs)
+}
+
+// Metrics are the per-program compiler metrics of the paper's
+// Table 7-1, plus the skew analysis results.
+type Metrics struct {
+	Name        string
+	W2Lines     int
+	CellInstrs  int // cell µcode length (static microinstructions)
+	IUInstrs    int // IU µcode length
+	CompileTime time.Duration
+
+	Cells      int
+	Skew       int64 // applied inter-cell skew in cycles
+	CellCycles int64 // one cell's total execution time
+	QueueOccX  int64 // proven peak occupancy, channel X
+	QueueOccY  int64
+	IUAddrRegs int
+	IUTable    int // pre-stored table entries
+	OptCount   int // local-optimizer transformations applied
+	Pipelined  int // loops software pipelining transformed
+	// PipelineBackoff: pipelining was requested but rolled back because
+	// the IU could not feed the overlapped schedule.
+	PipelineBackoff bool
+}
+
+// Metrics returns the compiled program's metrics.
+func (p *Program) Metrics() Metrics {
+	return Metrics{
+		Name:            p.c.Module.Name,
+		W2Lines:         p.c.W2Lines,
+		CellInstrs:      p.c.Cell.NumInstrs(),
+		IUInstrs:        p.c.IU.NumInstrs(),
+		CompileTime:     p.compileTime,
+		Cells:           p.c.Cells,
+		Skew:            p.c.Skew,
+		CellCycles:      p.c.Cell.Cycles(),
+		QueueOccX:       p.c.QueueOcc[w2.ChanX],
+		QueueOccY:       p.c.QueueOcc[w2.ChanY],
+		IUAddrRegs:      p.c.IUGen.AddrRegs,
+		IUTable:         p.c.IUGen.TableEntries,
+		OptCount:        p.c.OptStats.Total(),
+		Pipelined:       p.c.CellGen.PipelinedLoops,
+		PipelineBackoff: p.c.PipelineBackoff,
+	}
+}
+
+// ParamInfo describes one module parameter.
+type ParamInfo struct {
+	Name string
+	Out  bool
+	Size int // number of scalar elements
+}
+
+// Params returns the module's parameters in declaration order.
+func (p *Program) Params() []ParamInfo {
+	var out []ParamInfo
+	for _, sym := range p.c.Info.HostSyms {
+		out = append(out, ParamInfo{Name: sym.Name, Out: sym.Out, Size: sym.Type.Size()})
+	}
+	return out
+}
+
+// CellListing renders the generated cell microcode.
+func (p *Program) CellListing() string { return p.c.Cell.Listing() }
+
+// IUListing renders the generated IU microcode.
+func (p *Program) IUListing() string { return p.c.IU.Listing() }
+
+// Skew returns the applied inter-cell skew in cycles.
+func (p *Program) Skew() int64 { return p.c.Skew }
+
+// Cells returns the array size.
+func (p *Program) Cells() int { return p.c.Cells }
+
+// ChannelTiming returns the timed I/O program of one channel, the
+// input to the skew analysis (see internal/skew).
+func (p *Program) ChannelTiming(ch rune) *skew.Prog {
+	switch ch {
+	case 'X', 'x':
+		return p.c.Timing[w2.ChanX]
+	case 'Y', 'y':
+		return p.c.Timing[w2.ChanY]
+	}
+	return nil
+}
