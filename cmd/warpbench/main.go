@@ -6,14 +6,17 @@
 //	warpbench [-exp name] [-pipeline]
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
-// table6-4, table6-5, table7-1, throughput, all (default).
+// table6-4, table6-5, table7-1, throughput, utilization, varskew,
+// all (default).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"warp"
@@ -33,20 +36,22 @@ func main() {
 	flag.Parse()
 
 	exps := map[string]func() error{
-		"fig3-1":     fig31,
-		"fig4-2":     fig42,
-		"fig5-1":     fig51,
-		"table6-1":   table61,
-		"table6-2":   table62,
-		"table6-3":   table63,
-		"table6-4":   table64,
-		"table6-5":   table65,
-		"table7-1":   table71,
-		"throughput": throughput,
-		"varskew":    varskew,
+		"fig3-1":      fig31,
+		"fig4-2":      fig42,
+		"fig5-1":      fig51,
+		"table6-1":    table61,
+		"table6-2":    table62,
+		"table6-3":    table63,
+		"table6-4":    table64,
+		"table6-5":    table65,
+		"table7-1":    table71,
+		"throughput":  throughput,
+		"utilization": utilization,
+		"varskew":     varskew,
 	}
 	names := []string{"fig3-1", "fig4-2", "fig5-1", "table6-1", "table6-2",
-		"table6-3", "table6-4", "table6-5", "table7-1", "throughput", "varskew"}
+		"table6-3", "table6-4", "table6-5", "table7-1", "throughput",
+		"utilization", "varskew"}
 
 	run := func(name string) {
 		fmt.Printf("==================== %s ====================\n", name)
@@ -433,6 +438,62 @@ func throughput() error {
 				tc.name, mode, c2, marginal,
 				100*st2.AddUtilization, 100*st2.MulUtilization)
 		}
+	}
+	return nil
+}
+
+// utilization prints the observability layer's per-cell utilization
+// and stall-attribution tables for the headline workloads — the
+// dynamic, inspectable form of §7's "all the arithmetic units are
+// fully utilized in the innermost loop".  The cases compile, simulate
+// and trace concurrently, each with its own recorder; this is also the
+// concurrent path the CI race detector exercises.
+func utilization() error {
+	type job struct {
+		name string
+		src  string
+		pipe bool
+		in   map[string][]float64
+	}
+	jobs := []job{
+		{"polynomial, list-scheduled", workloads.Polynomial(10, 100), false,
+			map[string][]float64{"z": make([]float64, 100), "c": make([]float64, 10)}},
+		{"polynomial, software-pipelined", workloads.Polynomial(10, 100), true,
+			map[string][]float64{"z": make([]float64, 100), "c": make([]float64, 10)}},
+		{"1d-conv, software-pipelined", workloads.Conv1D(9, 512), true,
+			map[string][]float64{"x": make([]float64, 512), "w": make([]float64, 9)}},
+		{"matmul 10x10", workloads.Matmul(10), true,
+			map[string][]float64{"a": make([]float64, 100), "bmat": make([]float64, 100)}},
+	}
+	reports := make([]string, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			prog, err := warp.Compile(j.src, warp.Options{Pipeline: j.pipe})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Stream the Chrome trace to a scratch buffer so the full
+			// recorder path runs, then report from the profile.
+			var trace bytes.Buffer
+			_, stats, err := prog.RunTraced(j.in, &trace)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i] = stats.Profile.UtilizationReport()
+		}(i, j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", j.name, errs[i])
+		}
+		fmt.Printf("--- %s ---\n%s\n", j.name, reports[i])
 	}
 	return nil
 }

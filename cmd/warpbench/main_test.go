@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestUtilizationExperiment runs the utilization experiment, whose jobs
+// compile, simulate and trace concurrently with one recorder each —
+// under `go test -race` this is the concurrency check on the obs layer.
+func TestUtilizationExperiment(t *testing.T) {
+	if err := utilization(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,12 +3,22 @@
 //
 // Usage:
 //
-//	warpsim [-pipeline] [-seed n] [-inputs data.json] [-check] program.w2
+//	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
+//	        [-check] [-trace out.json] [-stats] program.w2
+//
+// The program argument is a W2 source file, or the name of a built-in
+// workload (matmul, polynomial, conv1d, binop, fft, colorseg,
+// mandelbrot) for quick experiments.
 //
 // Inputs are read from a JSON object mapping "in" parameter names to
 // number arrays; missing arrays (or all of them, without -inputs) are
 // filled with seeded random values.  With -check the simulated outputs
 // are compared against the reference interpreter.
+//
+// Observability: -trace writes a Chrome trace-event JSON file (load it
+// at https://ui.perfetto.dev — one track per cell, functional unit and
+// queue, plus a compiler-phase track); -stats prints the per-cell
+// utilization/stall table and the compiler's per-phase timing.
 package main
 
 import (
@@ -20,15 +30,19 @@ import (
 	"os"
 
 	"warp"
+	"warp/internal/workloads"
 )
 
 func main() {
 	var (
-		pipeline = flag.Bool("pipeline", false, "software pipeline innermost loops")
-		seed     = flag.Int64("seed", 1, "seed for generated inputs")
-		inPath   = flag.String("inputs", "", "JSON file with input arrays")
-		check    = flag.Bool("check", false, "verify against the reference interpreter")
-		outPath  = flag.String("o", "", "write outputs as JSON to this file (default stdout summary)")
+		pipeline  = flag.Bool("pipeline", false, "software pipeline innermost loops")
+		cells     = flag.Int("cells", 0, "override the array size declared by the cellprogram")
+		seed      = flag.Int64("seed", 1, "seed for generated inputs")
+		inPath    = flag.String("inputs", "", "JSON file with input arrays")
+		check     = flag.Bool("check", false, "verify against the reference interpreter")
+		outPath   = flag.String("o", "", "write outputs as JSON to this file (default stdout summary)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+		stats     = flag.Bool("stats", false, "print per-cell utilization/stall table and compile-phase timing")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -36,11 +50,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := loadSource(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	prog, err := warp.Compile(string(src), warp.Options{Pipeline: *pipeline})
+	prog, err := warp.Compile(src, warp.Options{Pipeline: *pipeline, Cells: *cells})
 	if err != nil {
 		fail(err)
 	}
@@ -57,13 +71,40 @@ func main() {
 	}
 	fillRandom(prog, inputs, *seed)
 
-	out, stats, err := prog.Run(inputs)
-	if err != nil {
-		fail(err)
+	var out map[string][]float64
+	var rstats *warp.RunStats
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		out, rstats, err = prog.RunTraced(inputs, f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: wrote %s (load in https://ui.perfetto.dev)\n", *tracePath)
+	} else {
+		out, rstats, err = prog.Run(inputs)
+		if err != nil {
+			fail(err)
+		}
 	}
 	m := prog.Metrics()
-	fmt.Printf("module %s: %d cells, skew %d, %d cycles, peak queue %d\n",
-		m.Name, m.Cells, m.Skew, stats.Cycles, stats.MaxQueue)
+	fmt.Printf("module %s: %d cells, skew %d, %d cycles, peak queue %d (%s)\n",
+		m.Name, m.Cells, m.Skew, rstats.Cycles, rstats.MaxQueue, rstats.MaxQueueAt)
+
+	if *stats {
+		fmt.Println()
+		fmt.Print(rstats.Profile.UtilizationReport())
+		fmt.Println()
+		fmt.Print(prog.PhaseReport())
+		if m.PipelineBackoff {
+			fmt.Printf("pipeline backoff: %s\n", m.BackoffReason)
+		}
+	}
 
 	if *check {
 		want, err := prog.Interpret(inputs)
@@ -89,7 +130,7 @@ func main() {
 		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
 			fail(err)
 		}
-	} else {
+	} else if !*stats {
 		for name, vals := range out {
 			n := len(vals)
 			if n > 8 {
@@ -99,6 +140,29 @@ func main() {
 			}
 		}
 	}
+}
+
+// loadSource reads the W2 file, falling back to a built-in workload
+// when the argument names one instead of an existing file.
+func loadSource(arg string) (string, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		return string(data), nil
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	builtin := map[string]func() string{
+		"matmul":     func() string { return workloads.Matmul(10) },
+		"polynomial": workloads.PolynomialPaper,
+		"conv1d":     workloads.Conv1DPaper,
+		"binop":      workloads.BinopPaper,
+		"colorseg":   workloads.ColorSegPaper,
+		"mandelbrot": workloads.MandelbrotPaper,
+		"fft":        workloads.FFTPaper,
+	}
+	if gen, ok := builtin[arg]; ok {
+		return gen(), nil
+	}
+	return "", fmt.Errorf("no such file or built-in workload: %s", arg)
 }
 
 // fillRandom fills any missing input array with seeded random values

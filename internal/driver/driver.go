@@ -10,6 +10,7 @@ package driver
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"warp/internal/cellgen"
 	"warp/internal/commgraph"
@@ -18,6 +19,7 @@ import (
 	"warp/internal/ir"
 	"warp/internal/iugen"
 	"warp/internal/mcode"
+	"warp/internal/obs"
 	"warp/internal/opt"
 	"warp/internal/sim"
 	"warp/internal/skew"
@@ -32,6 +34,10 @@ type Options struct {
 	Pipeline bool
 	// Cells overrides the array size declared by the cellprogram.
 	Cells int
+	// Recorder receives one Phase event per compiler phase (and is
+	// forwarded to the simulator by RunObserved's callers).  nil
+	// disables emission; Compiled.Phases is recorded either way.
+	Recorder obs.Recorder
 }
 
 // Compiled is the full result of compiling one W2 module.
@@ -46,6 +52,12 @@ type Compiled struct {
 	// been designed to deliver the average performance required, but
 	// not peak performance", §6.3.2).
 	PipelineBackoff bool
+	// BackoffReason is the error that forced the rollback.
+	BackoffReason string
+
+	// Phases records per-phase wall-clock timing and a size metric for
+	// every phase of this compilation, in execution order.
+	Phases []obs.PhaseStat
 
 	OptStats opt.Stats
 	Comm     commgraph.Analysis
@@ -71,46 +83,76 @@ type Compiled struct {
 // Compile runs the whole pipeline on W2 source text.  If software
 // pipelining was requested and the IU cannot feed the overlapped
 // schedule (its sequential table overflows), compilation backs off to
-// the plain schedule.
+// the plain schedule; the rollback is recorded in PipelineBackoff,
+// BackoffReason and a "pipeline-backoff" phase entry.
 func Compile(src string, opts Options) (*Compiled, error) {
 	c, err := compile(src, opts)
 	if err != nil && opts.Pipeline {
+		reason := err.Error()
 		plain := opts
 		plain.Pipeline = false
 		if c2, err2 := compile(src, plain); err2 == nil {
 			c2.PipelineBackoff = true
+			c2.BackoffReason = reason
+			c2.phase(opts.Recorder, "pipeline-backoff", time.Now(), 0, reason)
 			return c2, nil
 		}
 	}
 	return c, err
 }
 
+// phase appends one per-phase timing record ending now and forwards it
+// to the recorder, if any.
+func (c *Compiled) phase(rec obs.Recorder, name string, start time.Time, size int, note string) {
+	d := time.Since(start).Seconds()
+	c.Phases = append(c.Phases, obs.PhaseStat{Name: name, Seconds: d, Size: size, Note: note})
+	if rec != nil {
+		rec.Phase(name, d, size, note)
+	}
+}
+
 func compile(src string, opts Options) (*Compiled, error) {
+	c := &Compiled{W2Lines: countLines(src)}
+	rec := opts.Recorder
+
+	start := time.Now()
 	mod, err := w2.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	c.Module = mod
+	c.phase(rec, "parse", start, c.W2Lines, "")
+
+	start = time.Now()
 	info, err := w2.Analyze(mod)
 	if err != nil {
 		return nil, err
 	}
+	c.Info = info
+	c.phase(rec, "sema", start, len(info.HostSyms), "")
+
+	start = time.Now()
 	prog, err := ir.Build(info)
 	if err != nil {
 		return nil, err
 	}
-	c := &Compiled{
-		Module:  mod,
-		Info:    info,
-		IR:      prog,
-		W2Lines: countLines(src),
-	}
+	c.IR = prog
+	c.phase(rec, "flowgraph", start, len(prog.Funcs), "")
+
 	if !opts.NoOptimize {
+		start = time.Now()
 		c.OptStats = opt.Optimize(prog)
+		c.phase(rec, "optimize", start, c.OptStats.Total(), "")
 	}
 	c.Cells = mod.Cells.Last - mod.Cells.First + 1
+	if opts.Cells < 0 {
+		return nil, fmt.Errorf("invalid cell count %d", opts.Cells)
+	}
 	if opts.Cells > 0 {
 		c.Cells = opts.Cells
 	}
+
+	start = time.Now()
 	c.Comm = commgraph.Analyze(prog)
 	if err := commgraph.Check(prog, c.Cells); err != nil {
 		return nil, err
@@ -118,17 +160,25 @@ func compile(src string, opts Options) (*Compiled, error) {
 	if c.Comm.UsesLeftward {
 		return nil, fmt.Errorf("driver: program sends data leftward; this compiler (like its examples) supports rightward flow only")
 	}
+	c.phase(rec, "commgraph", start, 0, "")
 
+	start = time.Now()
 	cg, err := cellgen.Generate(prog, cellgen.Options{Pipeline: opts.Pipeline})
 	if err != nil {
 		return nil, err
 	}
 	c.CellGen = cg
 	c.Cell = cg.Cell
+	note := ""
+	if opts.Pipeline {
+		note = fmt.Sprintf("%d loops pipelined", cg.PipelinedLoops)
+	}
+	c.phase(rec, "cellgen", start, c.Cell.NumInstrs(), note)
 
 	// Inter-cell scheduling: minimum skew and queue occupancy per
 	// channel (§6.2).  A single-cell array has no inter-cell boundary
 	// to synchronize.
+	start = time.Now()
 	c.Timing = cellgen.Timing(c.Cell)
 	c.QueueOcc = map[w2.Channel]int64{}
 	if c.Cells > 1 {
@@ -157,19 +207,31 @@ func compile(src string, opts Options) (*Compiled, error) {
 			c.QueueOcc[ch] = occ
 		}
 	}
+	c.phase(rec, "skew", start, int(c.Skew), "")
 
+	start = time.Now()
 	iu, err := iugen.Generate(c.Cell)
 	if err != nil {
 		return nil, err
 	}
 	c.IUGen = iu
 	c.IU = iu.IU
+	c.phase(rec, "iugen", start, c.IU.NumInstrs(), "")
 
+	start = time.Now()
 	host, err := hostgen.Generate(c.Cell)
 	if err != nil {
 		return nil, err
 	}
 	c.Host = host
+	hostWords := 0
+	for _, seq := range host.In {
+		hostWords += len(seq)
+	}
+	for _, seq := range host.Out {
+		hostWords += len(seq)
+	}
+	c.phase(rec, "hostgen", start, hostWords, "")
 	return c, nil
 }
 
@@ -185,22 +247,32 @@ func countLines(src string) int {
 
 // Run executes the compiled program on the simulated Warp machine.
 func Run(c *Compiled, inputs map[string][]float64) (map[string][]float64, *sim.Stats, error) {
+	return RunObserved(c, inputs, nil)
+}
+
+// RunObserved executes the compiled program with an instrumentation
+// recorder attached to the simulator.  The compiled program's phase
+// records are copied into the run profile so one Stats value carries
+// the whole compile-and-run story.
+func RunObserved(c *Compiled, inputs map[string][]float64, rec obs.Recorder) (map[string][]float64, *sim.Stats, error) {
 	hostMem, err := interp.BuildHostMem(c.Info, inputs)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats, err := sim.Run(sim.Config{
-		Cells:   c.Cells,
-		Cell:    c.Cell,
-		IU:      c.IU,
-		Host:    c.Host,
-		Skew:    c.Skew,
-		Lead:    c.IUGen.Prologue + 1,
-		HostMem: hostMem,
+		Cells:    c.Cells,
+		Cell:     c.Cell,
+		IU:       c.IU,
+		Host:     c.Host,
+		Skew:     c.Skew,
+		Lead:     c.IUGen.Prologue + 1,
+		HostMem:  hostMem,
+		Recorder: rec,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Obs.Phases = c.Phases
 	return interp.ExtractOutputs(c.Info, hostMem), stats, nil
 }
 

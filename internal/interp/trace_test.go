@@ -1,0 +1,103 @@
+package interp
+
+import (
+	"testing"
+
+	"warp/internal/w2"
+	"warp/internal/workloads"
+)
+
+// traceSetup analyzes the paper's polynomial program with the Figure
+// 4-2 inputs: z[i] = i and c[i] = 100+i so coefficients are
+// recognizable in the trace.
+func traceSetup(t *testing.T) (*w2.Info, map[string][]float64) {
+	t.Helper()
+	mod, err := w2.Parse(workloads.PolynomialPaper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := w2.Analyze(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, 100)
+	c := make([]float64, 10)
+	for i := range z {
+		z[i] = float64(i)
+	}
+	for i := range c {
+		c[i] = 100 + float64(i)
+	}
+	return info, map[string][]float64{"z": z, "c": c}
+}
+
+// TestRunTraceFigure42 golden-checks the polynomial program's
+// communication trace on the first two cells — the material of the
+// paper's Figure 4-2: each cell first consumes one coefficient from
+// the stream, then forwards the remaining coefficients ahead of its
+// computation.
+func TestRunTraceFigure42(t *testing.T) {
+	info, inputs := traceSetup(t)
+	traces, err := RunTrace(info, inputs, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]TraceEvent{
+		{
+			{Cell: 0, Send: false, Chan: w2.ChanX, Var: "coeff", Value: 100},
+			{Cell: 0, Send: false, Chan: w2.ChanX, Var: "temp", Value: 101},
+			{Cell: 0, Send: true, Chan: w2.ChanX, Var: "temp", Value: 101},
+			{Cell: 0, Send: false, Chan: w2.ChanX, Var: "temp", Value: 102},
+			{Cell: 0, Send: true, Chan: w2.ChanX, Var: "temp", Value: 102},
+			{Cell: 0, Send: false, Chan: w2.ChanX, Var: "temp", Value: 103},
+			{Cell: 0, Send: true, Chan: w2.ChanX, Var: "temp", Value: 103},
+			{Cell: 0, Send: false, Chan: w2.ChanX, Var: "temp", Value: 104},
+		},
+		{
+			{Cell: 1, Send: false, Chan: w2.ChanX, Var: "coeff", Value: 101},
+			{Cell: 1, Send: false, Chan: w2.ChanX, Var: "temp", Value: 102},
+			{Cell: 1, Send: true, Chan: w2.ChanX, Var: "temp", Value: 102},
+			{Cell: 1, Send: false, Chan: w2.ChanX, Var: "temp", Value: 103},
+			{Cell: 1, Send: true, Chan: w2.ChanX, Var: "temp", Value: 103},
+			{Cell: 1, Send: false, Chan: w2.ChanX, Var: "temp", Value: 104},
+			{Cell: 1, Send: true, Chan: w2.ChanX, Var: "temp", Value: 104},
+			{Cell: 1, Send: false, Chan: w2.ChanX, Var: "temp", Value: 105},
+		},
+	}
+	for cellIdx, wantEvents := range want {
+		got := traces[cellIdx]
+		if len(got) != len(wantEvents) {
+			t.Fatalf("cell %d: got %d events, want %d: %v", cellIdx, len(got), len(wantEvents), got)
+		}
+		for i, w := range wantEvents {
+			if got[i] != w {
+				t.Errorf("cell %d event %d: got %+v, want %+v", cellIdx, i, got[i], w)
+			}
+		}
+	}
+	// Cells beyond the requested count must stay untraced.
+	for cellIdx := 2; cellIdx < len(traces); cellIdx++ {
+		if len(traces[cellIdx]) != 0 {
+			t.Errorf("cell %d: traced %d events, want 0 (cells=2)", cellIdx, len(traces[cellIdx]))
+		}
+	}
+}
+
+// TestRunTraceLimit checks maxPerCell truncation and the String
+// rendering used by warpbench's fig4-2 table.
+func TestRunTraceLimit(t *testing.T) {
+	info, inputs := traceSetup(t)
+	traces, err := RunTrace(info, inputs, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces[0]) != 3 {
+		t.Fatalf("maxPerCell=3: got %d events", len(traces[0]))
+	}
+	if got, want := traces[0][0].String(), "Receive coeff    100"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := traces[0][2].String(), "Send    temp     101"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

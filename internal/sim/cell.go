@@ -4,13 +4,26 @@ import (
 	"fmt"
 
 	"warp/internal/mcode"
+	"warp/internal/obs"
 	"warp/internal/w2"
 )
 
 // stepCell executes one cycle of one cell.
 func (m *machine) stepCell(c *cell, stats *Stats) error {
 	if c.done || m.now < c.start {
+		// The cell is idle: still waiting out its skew delay, or done
+		// and waiting for the rest of the array to drain.
+		if m.trace {
+			if c.done {
+				m.rec.Stall(m.now, c.idx, obs.StallDrain)
+			} else {
+				m.rec.Stall(m.now, c.idx, obs.StallSkewLead)
+			}
+		}
 		return nil
+	}
+	if m.trace && m.now == c.start {
+		m.rec.CellStart(m.now, c.idx)
 	}
 
 	// Register writes and memory stores landing this cycle become
@@ -34,13 +47,17 @@ func (m *machine) stepCell(c *cell, stats *Stats) error {
 	}
 	c.stores = keptM
 
-	in, ends, done := c.seq.step()
+	in, depth, ends, done := c.seq.step()
 	if done {
 		c.done = true
 		stats.CellFinish[c.idx] = m.now
+		if m.trace {
+			m.rec.CellFinish(m.now, c.idx)
+		}
 		return nil
 	}
 
+	c.account(m, in, depth)
 	if err := m.execCellInstr(c, in); err != nil {
 		return fmt.Errorf("cell %d: %w", c.idx, err)
 	}
@@ -66,8 +83,61 @@ func (m *machine) stepCell(c *cell, stats *Stats) error {
 	if c.seq.done() {
 		c.done = true
 		stats.CellFinish[c.idx] = m.now
+		if m.trace {
+			m.rec.CellFinish(m.now, c.idx)
+		}
 	}
 	return nil
+}
+
+// account attributes the cycle: a busy cycle issues at least one field;
+// a scheduled nop is starvation when both data queues are empty (the
+// upstream producer has not delivered) and a schedule bubble otherwise.
+// FPU issues are also attributed to the instruction's loop depth, which
+// is what lets the utilization report isolate the innermost loop (§7).
+func (c *cell) account(m *machine, in *mcode.Instr, depth int) {
+	for depth >= len(c.depth) {
+		c.depth = append(c.depth, obs.DepthProfile{})
+	}
+	dp := &c.depth[depth]
+	dp.Cycles++
+	if in.Add != nil {
+		c.addOps++
+		dp.AddOps++
+	}
+	if in.Mul != nil {
+		c.mulOps++
+		dp.MulOps++
+	}
+	if in.Mov != nil {
+		c.movOps++
+	}
+	if in.Empty() {
+		if c.inX.len() == 0 && c.inY.len() == 0 {
+			c.starved++
+			if m.trace {
+				m.rec.Stall(m.now, c.idx, obs.StallQueueEmpty)
+			}
+		} else {
+			c.bubble++
+			if m.trace {
+				m.rec.Stall(m.now, c.idx, obs.StallBubble)
+			}
+		}
+		return
+	}
+	c.busy++
+	if m.trace {
+		if in.Add != nil {
+			m.rec.Issue(m.now, c.idx, obs.UnitAdd)
+		}
+		if in.Mul != nil {
+			m.rec.Issue(m.now, c.idx, obs.UnitMul)
+		}
+		if in.Mov != nil {
+			m.rec.Issue(m.now, c.idx, obs.UnitMov)
+		}
+	}
 }
 
 func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
@@ -85,6 +155,7 @@ func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
 			if err != nil {
 				return err
 			}
+			recPop(m, q)
 			c.pending = append(c.pending, regWrite{reg: io.Reg, val: v, land: m.now + 1})
 		} else {
 			if io.Dir != w2.DirR {
@@ -100,6 +171,7 @@ func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
 				if err := q.push(v); err != nil {
 					return err
 				}
+				recPush(m, q)
 			} else if err := m.hostCollect(io.Chan, v); err != nil {
 				return err
 			}
@@ -108,7 +180,7 @@ func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
 
 	// Memory references: addresses pop from the Adr queue and are
 	// forwarded systolically to the next cell.
-	for _, mo := range in.Mem {
+	for port, mo := range in.Mem {
 		if mo == nil {
 			continue
 		}
@@ -116,31 +188,37 @@ func (m *machine) execCellInstr(c *cell, in *mcode.Instr) error {
 		if err != nil {
 			return err
 		}
+		recPop(m, c.adr)
 		if c.idx+1 < len(m.cells) {
-			if err := m.cells[c.idx+1].adr.push(addr); err != nil {
+			next := m.cells[c.idx+1]
+			if err := next.adr.push(addr); err != nil {
 				return err
 			}
+			recPush(m, next.adr)
 		}
 		if addr < 0 || addr >= int64(len(c.mem)) {
 			return fmt.Errorf("sim: address %d outside the %d-word cell memory (IU generated a bad address for %s)",
 				addr, len(c.mem), mo.Addr)
 		}
 		if mo.Store {
+			c.nStores++
 			c.stores = append(c.stores, memWrite{addr: addr, val: c.regs[mo.Reg], land: m.now + 1})
 		} else {
+			c.nLoads++
 			c.pending = append(c.pending, regWrite{reg: mo.Reg, val: c.mem[addr], land: m.now + 1})
+		}
+		if m.trace {
+			m.rec.MemRef(m.now, c.idx, port, addr, mo.Store)
 		}
 	}
 
-	// FPU fields.
+	// FPU fields (counted in account, which ran before us).
 	if in.Add != nil {
-		m.addOps++
 		if err := c.alu(in.Add, m.now); err != nil {
 			return err
 		}
 	}
 	if in.Mul != nil {
-		m.mulOps++
 		if err := c.alu(in.Mul, m.now); err != nil {
 			return err
 		}

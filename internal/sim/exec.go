@@ -31,15 +31,22 @@ func newCellSeq(p *mcode.CellProgram) *cellSeq {
 	return &cellSeq{stack: []cellFrame{{items: p.Items}}}
 }
 
-// step returns the next instruction to execute together with the loop
-// boundaries crossed immediately after it; done reports program end.
-func (s *cellSeq) step() (in *mcode.Instr, ends []loopEnd, done bool) {
+// step returns the next instruction to execute together with its loop
+// nesting depth (0 for straight-line code outside every loop) and the
+// loop boundaries crossed immediately after it; done reports program
+// end.
+func (s *cellSeq) step() (in *mcode.Instr, depth int, ends []loopEnd, done bool) {
 	in = s.fetch()
 	if in == nil {
-		return nil, nil, true
+		return nil, 0, nil, true
+	}
+	for i := range s.stack {
+		if s.stack[i].loop != nil {
+			depth++
+		}
 	}
 	ends = s.advance()
-	return in, ends, false
+	return in, depth, ends, false
 }
 
 // fetch descends to the current instruction without advancing.

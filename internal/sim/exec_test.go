@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"warp/internal/mcode"
+	"warp/internal/obs"
 )
 
 func straight(n int) *mcode.Straight {
@@ -19,7 +20,7 @@ func TestCellSeqStraight(t *testing.T) {
 	p := &mcode.CellProgram{Items: []mcode.CodeItem{straight(3)}}
 	s := newCellSeq(p)
 	for i := 0; i < 3; i++ {
-		in, ends, done := s.step()
+		in, _, ends, done := s.step()
 		if done || in == nil {
 			t.Fatalf("step %d: done early", i)
 		}
@@ -27,7 +28,7 @@ func TestCellSeqStraight(t *testing.T) {
 			t.Fatalf("step %d: unexpected loop ends", i)
 		}
 	}
-	if _, _, done := s.step(); !done {
+	if _, _, _, done := s.step(); !done {
 		t.Fatal("program should be finished")
 	}
 }
@@ -42,7 +43,7 @@ func TestCellSeqLoop(t *testing.T) {
 	var events []loopEnd
 	steps := 0
 	for {
-		_, ends, done := s.step()
+		_, _, ends, done := s.step()
 		if done {
 			break
 		}
@@ -73,9 +74,12 @@ func TestCellSeqNestedLoops(t *testing.T) {
 	var events []loopEnd
 	steps := 0
 	for {
-		_, ends, done := s.step()
+		_, depth, ends, done := s.step()
 		if done {
 			break
+		}
+		if depth != 2 {
+			t.Errorf("step %d: depth = %d, want 2 (inner loop body)", steps, depth)
 		}
 		steps++
 		events = append(events, ends...)
@@ -127,7 +131,7 @@ func TestIUSeqNestedLoops(t *testing.T) {
 
 // TestQueueLimits exercises the bounded FIFO directly.
 func TestQueueLimits(t *testing.T) {
-	q := newQueue[int]("t", 2)
+	q := newQueue[int]("t", 0, obs.NumQueues, 2)
 	if _, err := q.pop(); err == nil {
 		t.Error("pop of empty queue must underflow")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"warp/internal/hostgen"
 	"warp/internal/mcode"
+	"warp/internal/obs"
 	"warp/internal/w2"
 )
 
@@ -25,6 +26,12 @@ type Config struct {
 	HostMem []float64
 	// MaxCycles aborts a runaway simulation (default 1<<28).
 	MaxCycles int64
+	// Recorder receives per-cycle instrumentation events (FPU issues,
+	// memory references, queue push/pop with occupancy, stall
+	// attribution).  nil or obs.Nop() disables event emission; the
+	// per-cycle cost is then a single cached-bool branch per hook, and
+	// the aggregate Stats.Obs profile is collected either way.
+	Recorder obs.Recorder
 }
 
 // Stats reports the outcome of a run.
@@ -32,8 +39,16 @@ type Stats struct {
 	Cycles int64 // total cycles until the last cell finished
 	// CellFinish is the absolute cycle each cell finished at.
 	CellFinish []int64
-	// MaxQueue is the maximum occupancy observed over all data queues.
+	// MaxQueue is the peak occupancy over the data queues (X and Y),
+	// derived from the per-queue high-water marks in Obs.Queues.  The
+	// marks are exact (taken at push time), so MaxQueue can read
+	// slightly higher than the historical end-of-cycle sample when the
+	// downstream cell pops in the same cycle as the push.
 	MaxQueue int
+	// MaxQueueAt names the queue that reached MaxQueue, identifying
+	// the channel and cell boundary (e.g. "cell1.X" is the X queue
+	// into cell 1, fed by cell 0).
+	MaxQueueAt string
 	// Sent counts words delivered to the host per channel.
 	Sent map[w2.Channel]int
 	// AddOps and MulOps count FPU field issues summed over all cells;
@@ -45,6 +60,10 @@ type Stats struct {
 	// CellActive is the total number of cell-active cycles (sum over
 	// cells of finish−start).
 	CellActive int64
+	// Obs is the full run profile: per-cell stall attribution and
+	// per-loop-depth utilization, per-queue high-water marks and
+	// occupancy histograms, host backpressure.
+	Obs *obs.Profile
 }
 
 type sigItem struct {
@@ -68,6 +87,13 @@ type cell struct {
 	inX, inY *queue[float64]
 	adr      *queue[int64]
 	sig      *queue[sigItem]
+
+	// Always-on per-cell accounting (integer increments only); the
+	// totals land in Stats.Obs at the end of the run.
+	addOps, mulOps, movOps int64
+	nLoads, nStores        int64
+	busy, starved, bubble  int64
+	depth                  []obs.DepthProfile
 }
 
 type regWrite struct {
@@ -95,11 +121,16 @@ type machine struct {
 	hostInPos  map[w2.Channel]int
 	hostOutPos map[w2.Channel]int
 
-	now      int64
-	maxQueue int
-	sent     map[w2.Channel]int
-	addOps   int64
-	mulOps   int64
+	now  int64
+	sent map[w2.Channel]int
+
+	// rec receives instrumentation events; trace caches
+	// obs.Enabled(rec) so every hook on the cycle loop is one branch
+	// when tracing is off.
+	rec   obs.Recorder
+	trace bool
+
+	hostStallX, hostStallY int64
 }
 
 type iuRegWrite struct {
@@ -119,6 +150,10 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 1 << 28
 	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Nop()
+	}
 	m := &machine{
 		cfg:        cfg,
 		iu:         newIUSeq(cfg.IU),
@@ -126,6 +161,8 @@ func Run(cfg Config) (*Stats, error) {
 		hostInPos:  map[w2.Channel]int{},
 		hostOutPos: map[w2.Channel]int{},
 		sent:       map[w2.Channel]int{},
+		rec:        rec,
+		trace:      obs.Enabled(rec),
 	}
 	for i := 0; i < cfg.Cells; i++ {
 		c := &cell{
@@ -133,12 +170,16 @@ func Run(cfg Config) (*Stats, error) {
 			seq:   newCellSeq(cfg.Cell),
 			start: cfg.Lead + int64(i)*cfg.Skew,
 			mem:   make([]float64, mcode.MemWords),
-			inX:   newQueue[float64](fmt.Sprintf("cell%d.X", i), mcode.QueueDepth),
-			inY:   newQueue[float64](fmt.Sprintf("cell%d.Y", i), mcode.QueueDepth),
-			adr:   newQueue[int64](fmt.Sprintf("cell%d.Adr", i), mcode.QueueDepth),
-			sig:   newQueue[sigItem](fmt.Sprintf("cell%d.Sig", i), mcode.QueueDepth),
+			inX:   newQueue[float64](fmt.Sprintf("cell%d.X", i), i, obs.QueueX, mcode.QueueDepth),
+			inY:   newQueue[float64](fmt.Sprintf("cell%d.Y", i), i, obs.QueueY, mcode.QueueDepth),
+			adr:   newQueue[int64](fmt.Sprintf("cell%d.Adr", i), i, obs.QueueAdr, mcode.QueueDepth),
+			sig:   newQueue[sigItem](fmt.Sprintf("cell%d.Sig", i), i, obs.NumQueues, mcode.QueueDepth),
+			depth: make([]obs.DepthProfile, 4),
 		}
 		m.cells = append(m.cells, c)
+	}
+	if m.trace {
+		m.rec.RunStart(cfg.Cells, cfg.Skew, cfg.Lead)
 	}
 
 	stats := &Stats{CellFinish: make([]int64, cfg.Cells), Sent: m.sent}
@@ -162,13 +203,45 @@ func Run(cfg Config) (*Stats, error) {
 		m.now++
 	}
 	stats.Cycles = m.now
-	stats.MaxQueue = m.maxQueue
-	stats.AddOps = m.addOps
-	stats.MulOps = m.mulOps
-	for _, c := range m.cells {
-		stats.CellActive += stats.CellFinish[c.idx] - c.start
+	if m.trace {
+		m.rec.RunEnd(m.now)
 	}
+	m.fillStats(stats)
 	return stats, nil
+}
+
+// fillStats aggregates the per-cell and per-queue accounting into the
+// run profile and the compatibility counters.
+func (m *machine) fillStats(stats *Stats) {
+	prof := &obs.Profile{
+		Cells:      m.cfg.Cells,
+		Cycles:     stats.Cycles,
+		Skew:       m.cfg.Skew,
+		Lead:       m.cfg.Lead,
+		Cell:       make([]obs.CellProfile, m.cfg.Cells),
+		HostStallX: m.hostStallX,
+		HostStallY: m.hostStallY,
+	}
+	last := stats.Cycles - 1 // cycle the last cell retired on
+	for _, c := range m.cells {
+		finish := stats.CellFinish[c.idx]
+		stats.CellActive += finish - c.start
+		stats.AddOps += c.addOps
+		stats.MulOps += c.mulOps
+		prof.Cell[c.idx] = obs.CellProfile{
+			Start:  c.start,
+			Finish: finish,
+			AddOps: c.addOps, MulOps: c.mulOps, MovOps: c.movOps,
+			Loads: c.nLoads, Stores: c.nStores,
+			Busy: c.busy, Starved: c.starved, Bubble: c.bubble,
+			SkewLead: c.start - m.cells[0].start,
+			Drain:    last - finish,
+			Depth:    c.depth,
+		}
+		prof.Queues = append(prof.Queues, c.inX.profile(), c.inY.profile(), c.adr.profile())
+	}
+	stats.Obs = prof
+	stats.MaxQueue, stats.MaxQueueAt = prof.MaxQueue()
 }
 
 // cycle executes one global clock tick: the IU, the host, then every
@@ -190,13 +263,28 @@ func (m *machine) cycle(stats *Stats) error {
 	return nil
 }
 
+// trackQueues samples end-of-cycle occupancy into each tracked queue's
+// histogram (X, Y and Adr; the Sig queue is control plumbing).  The
+// high-water marks are maintained exactly at push time in queue.push.
 func (m *machine) trackQueues() {
 	for _, c := range m.cells {
-		for _, q := range []*queue[float64]{c.inX, c.inY} {
-			if q.len() > m.maxQueue {
-				m.maxQueue = q.len()
-			}
-		}
+		c.inX.hist[len(c.inX.items)]++
+		c.inY.hist[len(c.inY.items)]++
+		c.adr.hist[len(c.adr.items)]++
+	}
+}
+
+// recPush and recPop emit queue events when tracing is enabled; they
+// are the only place the occupancy leaves the queue on the hot path.
+func recPush[T any](m *machine, q *queue[T]) {
+	if m.trace && q.kind < obs.NumQueues {
+		m.rec.QueuePush(m.now, q.cell, q.kind, len(q.items))
+	}
+}
+
+func recPop[T any](m *machine, q *queue[T]) {
+	if m.trace && q.kind < obs.NumQueues {
+		m.rec.QueuePop(m.now, q.cell, q.kind, len(q.items))
 	}
 }
 
@@ -235,6 +323,7 @@ func (m *machine) stepIU() error {
 		if err := cell0.adr.push(v); err != nil {
 			return err
 		}
+		recPush(m, cell0.adr)
 	}
 	if in.Sig != nil {
 		more := in.Sig.Continue
@@ -279,7 +368,17 @@ func (m *machine) stepHostIn() error {
 			q = c0.inY
 		}
 		if q.len() >= mcode.QueueDepth {
-			continue // backpressure: the host waits
+			// Backpressure: the host waits.  Attribute the queue-full
+			// stall to the consuming cell 0.
+			if ch == w2.ChanX {
+				m.hostStallX++
+			} else {
+				m.hostStallY++
+			}
+			if m.trace {
+				m.rec.Stall(m.now, 0, obs.StallQueueFull)
+			}
+			continue
 		}
 		w := seq[pos]
 		v := w.Value
@@ -292,6 +391,7 @@ func (m *machine) stepHostIn() error {
 		if err := q.push(v); err != nil {
 			return err
 		}
+		recPush(m, q)
 		m.hostInPos[ch] = pos + 1
 	}
 	return nil

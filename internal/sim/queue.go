@@ -21,17 +21,34 @@
 //   - memory stores become visible the cycle after issue.
 package sim
 
-import "fmt"
+import (
+	"fmt"
 
-// queue is a bounded FIFO with underflow/overflow detection.
+	"warp/internal/obs"
+)
+
+// queue is a bounded FIFO with underflow/overflow detection and
+// always-on occupancy accounting: an exact push-time high-water mark,
+// push/pop counts, and a per-cycle occupancy histogram sampled by the
+// machine at the end of each cycle (see machine.trackQueues).
 type queue[T any] struct {
 	name  string
+	cell  int       // consuming cell index
+	kind  obs.Queue // obs.NumQueues for untracked queues (Sig)
 	cap   int
 	items []T
+
+	high   int // exact peak occupancy, observed at push time
+	pushes int64
+	pops   int64
+	hist   []int64 // hist[d] = cycles ending with occupancy d
 }
 
-func newQueue[T any](name string, capacity int) *queue[T] {
-	return &queue[T]{name: name, cap: capacity}
+func newQueue[T any](name string, cell int, kind obs.Queue, capacity int) *queue[T] {
+	return &queue[T]{
+		name: name, cell: cell, kind: kind, cap: capacity,
+		hist: make([]int64, capacity+1),
+	}
 }
 
 func (q *queue[T]) push(v T) error {
@@ -39,6 +56,10 @@ func (q *queue[T]) push(v T) error {
 		return fmt.Errorf("sim: queue %s overflows its %d words", q.name, q.cap)
 	}
 	q.items = append(q.items, v)
+	q.pushes++
+	if len(q.items) > q.high {
+		q.high = len(q.items)
+	}
 	return nil
 }
 
@@ -49,7 +70,16 @@ func (q *queue[T]) pop() (T, error) {
 	}
 	v := q.items[0]
 	q.items = q.items[1:]
+	q.pops++
 	return v, nil
 }
 
 func (q *queue[T]) len() int { return len(q.items) }
+
+// profile snapshots the queue's accounting for the run profile.
+func (q *queue[T]) profile() obs.QueueProfile {
+	return obs.QueueProfile{
+		Name: q.name, Cell: q.cell, Queue: q.kind,
+		HighWater: q.high, Pushes: q.pushes, Pops: q.pops, Hist: q.hist,
+	}
+}

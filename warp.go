@@ -25,10 +25,12 @@
 package warp
 
 import (
+	"io"
 	"time"
 
 	"warp/internal/driver"
 	"warp/internal/interp"
+	"warp/internal/obs"
 	"warp/internal/skew"
 	"warp/internal/w2"
 )
@@ -42,11 +44,16 @@ type Options struct {
 	Pipeline bool
 	// Cells overrides the array size declared by the cellprogram.
 	Cells int
+	// Recorder, when set, receives compile-phase events during Compile
+	// and per-cycle simulator events during Run/RunTraced (see
+	// internal/obs).  Leave nil for the zero-overhead default.
+	Recorder obs.Recorder
 }
 
 // Program is a compiled W2 module.
 type Program struct {
 	c           *driver.Compiled
+	rec         obs.Recorder
 	compileTime time.Duration
 }
 
@@ -61,19 +68,24 @@ func Compile(src string, opts Options) (*Program, error) {
 		NoOptimize: opts.NoOptimize,
 		Pipeline:   opts.Pipeline,
 		Cells:      opts.Cells,
+		Recorder:   opts.Recorder,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Program{c: c, compileTime: time.Since(start)}, nil
+	return &Program{c: c, rec: opts.Recorder, compileTime: time.Since(start)}, nil
 }
 
 // RunStats reports a simulation run.
 type RunStats struct {
 	// Cycles is the total machine time until the last cell finished.
 	Cycles int64
-	// MaxQueue is the peak data-queue occupancy observed.
+	// MaxQueue is the peak data-queue occupancy observed, derived from
+	// the per-queue high-water marks in Profile.Queues.
 	MaxQueue int
+	// MaxQueueAt names the queue (channel and cell boundary) that
+	// reached MaxQueue, e.g. "cell1.X".
+	MaxQueueAt string
 	// AddUtilization and MulUtilization are the fractions of
 	// cell-active cycles in which the respective FPU issued an
 	// operation, summed over all cells — the quantity behind the
@@ -81,17 +93,47 @@ type RunStats struct {
 	// innermost loop" (§7).
 	AddUtilization float64
 	MulUtilization float64
+	// Profile is the full run profile: per-cell stall attribution and
+	// per-loop-depth utilization, per-queue occupancy, host
+	// backpressure, and the compiler's per-phase timing.  Its
+	// UtilizationReport method renders the §7-style per-cell table.
+	Profile *obs.Profile
 }
 
 // Run executes the compiled program on the simulated Warp machine with
 // the given input arrays (keyed by "in" parameter name) and returns the
 // output arrays (keyed by "out" parameter name).
 func (p *Program) Run(inputs map[string][]float64) (map[string][]float64, *RunStats, error) {
-	out, stats, err := driver.Run(p.c, inputs)
+	return p.run(inputs, p.rec)
+}
+
+// RunTraced runs like Run but additionally streams a Chrome trace-event
+// JSON document to trace (one track per cell, functional unit and
+// queue; load the file in Perfetto or chrome://tracing).  The compiled
+// program's phase timings appear on a separate "compiler" track.
+func (p *Program) RunTraced(inputs map[string][]float64, trace io.Writer) (map[string][]float64, *RunStats, error) {
+	tracer := obs.NewChromeTracer(trace)
+	for _, ph := range p.c.Phases {
+		tracer.Phase(ph.Name, ph.Seconds, ph.Size, ph.Note)
+	}
+	out, rs, err := p.run(inputs, obs.Multi(p.rec, tracer))
+	if cerr := tracer.Close(); err == nil && cerr != nil {
+		return nil, nil, cerr
+	}
+	return out, rs, err
+}
+
+func (p *Program) run(inputs map[string][]float64, rec obs.Recorder) (map[string][]float64, *RunStats, error) {
+	out, stats, err := driver.RunObserved(p.c, inputs, rec)
 	if err != nil {
 		return nil, nil, err
 	}
-	rs := &RunStats{Cycles: stats.Cycles, MaxQueue: stats.MaxQueue}
+	rs := &RunStats{
+		Cycles:     stats.Cycles,
+		MaxQueue:   stats.MaxQueue,
+		MaxQueueAt: stats.MaxQueueAt,
+		Profile:    stats.Obs,
+	}
 	if stats.CellActive > 0 {
 		rs.AddUtilization = float64(stats.AddOps) / float64(stats.CellActive)
 		rs.MulUtilization = float64(stats.MulOps) / float64(stats.CellActive)
@@ -125,8 +167,10 @@ type Metrics struct {
 	OptCount   int // local-optimizer transformations applied
 	Pipelined  int // loops software pipelining transformed
 	// PipelineBackoff: pipelining was requested but rolled back because
-	// the IU could not feed the overlapped schedule.
+	// the IU could not feed the overlapped schedule.  BackoffReason is
+	// the error that forced the rollback.
 	PipelineBackoff bool
+	BackoffReason   string
 }
 
 // Metrics returns the compiled program's metrics.
@@ -147,6 +191,7 @@ func (p *Program) Metrics() Metrics {
 		OptCount:        p.c.OptStats.Total(),
 		Pipelined:       p.c.CellGen.PipelinedLoops,
 		PipelineBackoff: p.c.PipelineBackoff,
+		BackoffReason:   p.c.BackoffReason,
 	}
 }
 
@@ -165,6 +210,14 @@ func (p *Program) Params() []ParamInfo {
 	}
 	return out
 }
+
+// Phases returns the compiler's per-phase wall-clock timing and size
+// records, in execution order; a "pipeline-backoff" entry carries the
+// reason software pipelining was rolled back.
+func (p *Program) Phases() []obs.PhaseStat { return p.c.Phases }
+
+// PhaseReport renders the per-phase timing table as text.
+func (p *Program) PhaseReport() string { return obs.PhaseReport(p.c.Phases) }
 
 // CellListing renders the generated cell microcode.
 func (p *Program) CellListing() string { return p.c.Cell.Listing() }
