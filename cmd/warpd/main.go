@@ -1,0 +1,98 @@
+// Command warpd is the long-lived compile-and-run daemon: an HTTP/JSON
+// API over the W2 compiler and the Warp simulator, with a
+// content-addressed compile cache (compile once, run many) and a
+// bounded simulation worker pool with backpressure.
+//
+// Usage:
+//
+//	warpd [-addr :8037] [-workers n] [-queue n] [-cache n]
+//	      [-timeout 30s] [-max-cycles n]
+//
+// Endpoints:
+//
+//	POST /compile  {"source": "...", "options": {"pipeline": true}}
+//	               -> {"program": "<content address>", "cached": bool, ...}
+//	POST /run      {"program": "<addr>" | "source": "...",
+//	                "inputs": {"z": [...]}, "timeout_ms": 1000}
+//	               -> {"outputs": {...}, "stats": {...}}
+//	POST /batch    {"requests": [<run request>, ...]}
+//	GET  /metrics  Prometheus text format
+//	GET  /healthz  liveness
+//
+// Saturation returns 429 with Retry-After; per-request deadlines abort
+// the simulation itself (the run loop polls the context), so a hung or
+// oversized job cannot pin a worker.  SIGINT/SIGTERM drain in-flight
+// runs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warp/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8037", "listen address")
+		workers   = flag.Int("workers", 4, "concurrent simulations")
+		queue     = flag.Int("queue", 64, "admission-queue depth beyond the workers")
+		cacheSize = flag.Int("cache", 128, "compiled programs kept resident (LRU)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-run deadline")
+		maxCycles = flag.Int64("max-cycles", 0, "per-run livelock guard (0 = simulator default, 1<<28)")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight runs")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: warpd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxCycles:      *maxCycles,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("warpd: listening on %s (%d workers, queue %d, cache %d)",
+			*addr, *workers, *queue, *cacheSize)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("warpd: %s; draining in-flight runs (grace %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("warpd: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("warpd: shutdown: %v", err)
+	}
+	svc.Close() // waits for every admitted simulation to retire
+	cs, ps := svc.CacheStats(), svc.PoolStats()
+	log.Printf("warpd: done (cache %d/%d hits/misses, %d runs completed)",
+		cs.Hits, cs.Misses, ps.Completed)
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
-//	        [-check] [-trace out.json] [-stats] program.w2
+//	        [-check] [-trace out.json] [-stats] [-max-cycles n] program.w2
 //
 // The program argument is a W2 source file, or the name of a built-in
 // workload (matmul, polynomial, conv1d, binop, fft, colorseg,
@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -43,6 +44,7 @@ func main() {
 		outPath   = flag.String("o", "", "write outputs as JSON to this file (default stdout summary)")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 		stats     = flag.Bool("stats", false, "print per-cell utilization/stall table and compile-phase timing")
+		maxCycles = flag.Int64("max-cycles", 0, "abort the simulation after this many cycles (0 = default, 1<<28)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -71,6 +73,7 @@ func main() {
 	}
 	fillRandom(prog, inputs, *seed)
 
+	runCfg := warp.RunConfig{MaxCycles: *maxCycles}
 	var out map[string][]float64
 	var rstats *warp.RunStats
 	if *tracePath != "" {
@@ -78,18 +81,18 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		out, rstats, err = prog.RunTraced(inputs, f)
+		out, rstats, err = prog.RunTracedWith(runCfg, inputs, f)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
 		if err != nil {
-			fail(err)
+			failRun(err, *maxCycles)
 		}
 		fmt.Printf("trace: wrote %s (load in https://ui.perfetto.dev)\n", *tracePath)
 	} else {
-		out, rstats, err = prog.Run(inputs)
+		out, rstats, err = prog.RunWith(runCfg, inputs)
 		if err != nil {
-			fail(err)
+			failRun(err, *maxCycles)
 		}
 	}
 	m := prog.Metrics()
@@ -196,4 +199,22 @@ func approxEqual(a, b float64) bool {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "warpsim:", err)
 	os.Exit(1)
+}
+
+// failRun reports a failed simulation, spelling out a livelock hit on
+// the cycle guard (the machine was still making no progress at the
+// limit — usually a mismatched IU/cell program or an input shorter than
+// the host program expects).
+func failRun(err error, maxCycles int64) {
+	if errors.Is(err, warp.ErrLivelock) {
+		limit := maxCycles
+		if limit == 0 {
+			limit = 1 << 28
+		}
+		fmt.Fprintf(os.Stderr, "warpsim: livelock: the simulation made no progress within %d cycles.\n", limit)
+		fmt.Fprintf(os.Stderr, "warpsim: the array is deadlocked or the program is larger than the cycle budget;\n")
+		fmt.Fprintf(os.Stderr, "warpsim: rerun with a larger -max-cycles if the workload is legitimately long.\n")
+		os.Exit(3)
+	}
+	fail(err)
 }

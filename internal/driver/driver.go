@@ -8,6 +8,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -245,29 +246,52 @@ func countLines(src string) int {
 	return n
 }
 
+// RunOptions control one execution of a compiled program.  The zero
+// value runs to completion with no instrumentation and the default
+// livelock guard.
+type RunOptions struct {
+	// Ctx, when non-nil, aborts the simulation once cancelled (polled
+	// every few thousand cycles; see sim.Config.Ctx).
+	Ctx context.Context
+	// Recorder receives per-cycle instrumentation events.
+	Recorder obs.Recorder
+	// MaxCycles overrides the runaway-simulation guard (0 keeps the
+	// sim default of 1<<28).
+	MaxCycles int64
+}
+
 // Run executes the compiled program on the simulated Warp machine.
 func Run(c *Compiled, inputs map[string][]float64) (map[string][]float64, *sim.Stats, error) {
-	return RunObserved(c, inputs, nil)
+	return RunWith(c, inputs, RunOptions{})
 }
 
 // RunObserved executes the compiled program with an instrumentation
-// recorder attached to the simulator.  The compiled program's phase
-// records are copied into the run profile so one Stats value carries
-// the whole compile-and-run story.
+// recorder attached to the simulator.
 func RunObserved(c *Compiled, inputs map[string][]float64, rec obs.Recorder) (map[string][]float64, *sim.Stats, error) {
+	return RunWith(c, inputs, RunOptions{Recorder: rec})
+}
+
+// RunWith executes the compiled program under the given run options.
+// The compiled program's phase records are copied into the run profile
+// so one Stats value carries the whole compile-and-run story.  Compiled
+// is never mutated: every run builds fresh machine state, so one
+// Compiled may run from many goroutines concurrently.
+func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string][]float64, *sim.Stats, error) {
 	hostMem, err := interp.BuildHostMem(c.Info, inputs)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats, err := sim.Run(sim.Config{
-		Cells:    c.Cells,
-		Cell:     c.Cell,
-		IU:       c.IU,
-		Host:     c.Host,
-		Skew:     c.Skew,
-		Lead:     c.IUGen.Prologue + 1,
-		HostMem:  hostMem,
-		Recorder: rec,
+		Cells:     c.Cells,
+		Cell:      c.Cell,
+		IU:        c.IU,
+		Host:      c.Host,
+		Skew:      c.Skew,
+		Lead:      c.IUGen.Prologue + 1,
+		HostMem:   hostMem,
+		MaxCycles: o.MaxCycles,
+		Ctx:       o.Ctx,
+		Recorder:  o.Recorder,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,63 @@
+package obs
+
+// Summary condenses a run Profile into the scalar aggregates a
+// long-lived service exports per run: total machine time, how the
+// array's cycles divided between work and the stall classes, the FPU
+// utilizations behind the paper's §7 claim, and the peak data-queue
+// occupancy.  All fractions are over the summed cell-active windows.
+type Summary struct {
+	Cycles int64
+	Cells  int
+
+	// BusyFrac is the fraction of cell-active cycles in which at least
+	// one functional-unit field issued.
+	BusyFrac float64
+	// AddUtil and MulUtil are the per-FPU issue fractions over the
+	// active window, summed across cells.
+	AddUtil float64
+	MulUtil float64
+	// StarvedFrac and BubbleFrac attribute the non-busy active cycles:
+	// starved by the upstream producer vs. scheduled bubbles.
+	StarvedFrac float64
+	BubbleFrac  float64
+
+	// PeakQueue is the exact high-water mark over the data queues and
+	// PeakQueueAt the queue that reached it.
+	PeakQueue   int
+	PeakQueueAt string
+	// HostStall is the total host-input backpressure in cycles (X+Y).
+	HostStall int64
+}
+
+// Summarize aggregates the profile.  It is cheap (one pass over the
+// per-cell records) and safe on a nil profile, which yields the zero
+// Summary.
+func (p *Profile) Summarize() Summary {
+	if p == nil {
+		return Summary{}
+	}
+	s := Summary{
+		Cycles:    p.Cycles,
+		Cells:     p.Cells,
+		HostStall: p.HostStallX + p.HostStallY,
+	}
+	var active, busy, starved, bubble, add, mul int64
+	for i := range p.Cell {
+		c := &p.Cell[i]
+		active += c.Active()
+		busy += c.Busy
+		starved += c.Starved
+		bubble += c.Bubble
+		add += c.AddOps
+		mul += c.MulOps
+	}
+	if active > 0 {
+		s.BusyFrac = float64(busy) / float64(active)
+		s.AddUtil = float64(add) / float64(active)
+		s.MulUtil = float64(mul) / float64(active)
+		s.StarvedFrac = float64(starved) / float64(active)
+		s.BubbleFrac = float64(bubble) / float64(active)
+	}
+	s.PeakQueue, s.PeakQueueAt = p.MaxQueue()
+	return s
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"warp/internal/obs"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, covering
+// sub-millisecond compiles through multi-second simulations.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram in Prometheus
+// cumulative form.  Callers hold the owning Metrics lock.
+type histogram struct {
+	counts []int64 // one per bucket bound; +Inf is implicit in total
+	total  int64
+	sum    float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(seconds float64) {
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+		}
+	}
+	h.total++
+	h.sum += seconds
+}
+
+// write renders the histogram in Prometheus text format under name.
+func (h *histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for i, le := range latencyBuckets {
+		// observe increments every bucket at or above the sample, so
+		// counts are already cumulative as the format requires.
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// Metrics aggregates everything the daemon exports at /metrics: request
+// counters by outcome, compile/run latency histograms, and the per-run
+// obs.Summary aggregates (simulated cycles, FPU utilization, peak queue
+// occupancy).  All methods are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	compiles map[string]int64 // result label -> count (hit|miss|error)
+	runs     map[string]int64 // result label -> count (ok|error|timeout|rejected)
+
+	compileLatency *histogram
+	runLatency     *histogram
+
+	// Aggregates over completed runs, from obs.Profile.Summarize.
+	simCycles   int64
+	addUtilSum  float64
+	mulUtilSum  float64
+	busySum     float64
+	runSamples  int64
+	peakQueue   int
+	peakQueueAt string
+}
+
+// obsSummaryZero is the empty summary passed for requests that never
+// produced a run profile.
+var obsSummaryZero obs.Summary
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		compiles:       map[string]int64{},
+		runs:           map[string]int64{},
+		compileLatency: newHistogram(),
+		runLatency:     newHistogram(),
+	}
+}
+
+// Compile records one compile request: result is "hit", "miss" or
+// "error"; seconds is the request's service time (0 is fine for hits).
+func (m *Metrics) Compile(result string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compiles[result]++
+	if result != "error" {
+		m.compileLatency.observe(seconds)
+	}
+}
+
+// Run records one run request outcome ("ok", "error", "timeout",
+// "rejected") and, for completed runs, the latency and run summary.
+func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs[result]++
+	if result != "ok" {
+		return
+	}
+	m.runLatency.observe(seconds)
+	m.simCycles += sum.Cycles
+	m.addUtilSum += sum.AddUtil
+	m.mulUtilSum += sum.MulUtil
+	m.busySum += sum.BusyFrac
+	m.runSamples++
+	if sum.PeakQueue > m.peakQueue {
+		m.peakQueue = sum.PeakQueue
+		m.peakQueueAt = sum.PeakQueueAt
+	}
+}
+
+// WritePrometheus renders the registry, plus the given cache and pool
+// snapshots, in the Prometheus text exposition format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP warpd_compile_requests_total Compile requests by result (hit|miss|error).\n")
+	fmt.Fprintf(w, "# TYPE warpd_compile_requests_total counter\n")
+	writeLabelled(w, "warpd_compile_requests_total", "result", m.compiles)
+
+	fmt.Fprintf(w, "# HELP warpd_run_requests_total Run requests by result (ok|error|timeout|rejected).\n")
+	fmt.Fprintf(w, "# TYPE warpd_run_requests_total counter\n")
+	writeLabelled(w, "warpd_run_requests_total", "result", m.runs)
+
+	fmt.Fprintf(w, "# HELP warpd_compile_seconds Compile request service time.\n")
+	m.compileLatency.write(w, "warpd_compile_seconds")
+	fmt.Fprintf(w, "# HELP warpd_run_seconds Run request service time.\n")
+	m.runLatency.write(w, "warpd_run_seconds")
+
+	fmt.Fprintf(w, "# HELP warpd_cache_entries Compiled programs resident in the cache.\n")
+	fmt.Fprintf(w, "# TYPE warpd_cache_entries gauge\n")
+	fmt.Fprintf(w, "warpd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP warpd_cache_hits_total Cache hits (including singleflight waiters).\n")
+	fmt.Fprintf(w, "# TYPE warpd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "warpd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP warpd_cache_misses_total Cache misses (driver compilations started).\n")
+	fmt.Fprintf(w, "# TYPE warpd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "warpd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP warpd_cache_evictions_total LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE warpd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "warpd_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(w, "# HELP warpd_queue_depth Jobs waiting in the admission queue.\n")
+	fmt.Fprintf(w, "# TYPE warpd_queue_depth gauge\n")
+	fmt.Fprintf(w, "warpd_queue_depth %d\n", ps.QueueDepth)
+	fmt.Fprintf(w, "# HELP warpd_queue_high_water Peak admission-queue depth since start.\n")
+	fmt.Fprintf(w, "# TYPE warpd_queue_high_water gauge\n")
+	fmt.Fprintf(w, "warpd_queue_high_water %d\n", ps.HighWater)
+	fmt.Fprintf(w, "# HELP warpd_queue_rejected_total Requests refused with 429 (queue full).\n")
+	fmt.Fprintf(w, "# TYPE warpd_queue_rejected_total counter\n")
+	fmt.Fprintf(w, "warpd_queue_rejected_total %d\n", ps.Rejected)
+	fmt.Fprintf(w, "# HELP warpd_inflight_runs Simulations executing right now.\n")
+	fmt.Fprintf(w, "# TYPE warpd_inflight_runs gauge\n")
+	fmt.Fprintf(w, "warpd_inflight_runs %d\n", ps.InFlight)
+	fmt.Fprintf(w, "# HELP warpd_workers Configured worker count.\n")
+	fmt.Fprintf(w, "# TYPE warpd_workers gauge\n")
+	fmt.Fprintf(w, "warpd_workers %d\n", ps.Workers)
+
+	fmt.Fprintf(w, "# HELP warpd_sim_cycles_total Machine cycles simulated across completed runs.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sim_cycles_total counter\n")
+	fmt.Fprintf(w, "warpd_sim_cycles_total %d\n", m.simCycles)
+	fmt.Fprintf(w, "# HELP warpd_fpu_add_utilization_sum Sum over runs of the ADD-FPU issue fraction.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fpu_add_utilization_sum counter\n")
+	fmt.Fprintf(w, "warpd_fpu_add_utilization_sum %s\n", formatFloat(m.addUtilSum))
+	fmt.Fprintf(w, "# HELP warpd_fpu_mul_utilization_sum Sum over runs of the MUL-FPU issue fraction.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fpu_mul_utilization_sum counter\n")
+	fmt.Fprintf(w, "warpd_fpu_mul_utilization_sum %s\n", formatFloat(m.mulUtilSum))
+	fmt.Fprintf(w, "# HELP warpd_busy_fraction_sum Sum over runs of the cell-busy fraction.\n")
+	fmt.Fprintf(w, "# TYPE warpd_busy_fraction_sum counter\n")
+	fmt.Fprintf(w, "warpd_busy_fraction_sum %s\n", formatFloat(m.busySum))
+	fmt.Fprintf(w, "# HELP warpd_run_samples_total Completed runs contributing to the utilization sums.\n")
+	fmt.Fprintf(w, "# TYPE warpd_run_samples_total counter\n")
+	fmt.Fprintf(w, "warpd_run_samples_total %d\n", m.runSamples)
+	fmt.Fprintf(w, "# HELP warpd_peak_queue_occupancy Highest data-queue high-water mark over all runs.\n")
+	fmt.Fprintf(w, "# TYPE warpd_peak_queue_occupancy gauge\n")
+	fmt.Fprintf(w, "warpd_peak_queue_occupancy %d\n", m.peakQueue)
+}
+
+// writeLabelled emits one sample per label value in sorted order, so
+// the output is deterministic and scrape-diff friendly.
+func writeLabelled(w io.Writer, name, label string, vals map[string]int64) {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}

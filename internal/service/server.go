@@ -1,0 +1,398 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"warp"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent simulations (default 4).
+	Workers int
+	// QueueCap is the admission-queue depth beyond the workers; a full
+	// queue turns new run requests away with 429 (default 64).
+	QueueCap int
+	// CacheSize is the number of compiled programs kept resident
+	// (default 128).
+	CacheSize int
+	// DefaultTimeout bounds a run request that names no deadline of its
+	// own (default 30s).
+	DefaultTimeout time.Duration
+	// MaxCycles is the per-run livelock guard (0 keeps the simulator
+	// default of 1<<28).
+	MaxCycles int64
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Compile substitutes the compiler entry point (nil = warp.Compile);
+	// tests use it to instrument driver invocations.
+	Compile CompileFunc
+}
+
+// Server is the compile-and-run service: an http.Handler in front of
+// the compile cache and the simulation worker pool.
+type Server struct {
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+	cfg     Config
+	mux     *http.ServeMux
+}
+
+// New builds a Server from the config, applying defaults for zero
+// fields.
+func New(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cache:   NewCache(cfg.CacheSize, cfg.Compile),
+		pool:    NewPool(cfg.Workers, cfg.QueueCap),
+		metrics: NewMetrics(),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the worker pool: every admitted run finishes before it
+// returns.  New run submissions fail with ErrClosed.
+func (s *Server) Close() { s.pool.Close() }
+
+// CompileOptions is the wire form of warp.Options.
+type CompileOptions struct {
+	NoOptimize bool `json:"no_optimize,omitempty"`
+	Pipeline   bool `json:"pipeline,omitempty"`
+	Cells      int  `json:"cells,omitempty"`
+}
+
+func (o CompileOptions) warpOptions() warp.Options {
+	return warp.Options{NoOptimize: o.NoOptimize, Pipeline: o.Pipeline, Cells: o.Cells}
+}
+
+// CompileRequest asks for a compilation.
+type CompileRequest struct {
+	Source  string         `json:"source"`
+	Options CompileOptions `json:"options"`
+}
+
+// ParamJSON describes one module parameter on the wire.
+type ParamJSON struct {
+	Name string `json:"name"`
+	Out  bool   `json:"out"`
+	Size int    `json:"size"`
+}
+
+// CompileResponse carries the program's content address for later /run
+// calls, plus the compiler metrics.
+type CompileResponse struct {
+	Program string      `json:"program"` // content address (cache key)
+	Cached  bool        `json:"cached"`
+	Module  string      `json:"module"`
+	Cells   int         `json:"cells"`
+	Skew    int64       `json:"skew"`
+	Params  []ParamJSON `json:"params"`
+}
+
+// RunRequest executes a program: either a previously returned content
+// address or inline source (compiled through the same cache).
+type RunRequest struct {
+	Program   string               `json:"program,omitempty"`
+	Source    string               `json:"source,omitempty"`
+	Options   CompileOptions       `json:"options"`
+	Inputs    map[string][]float64 `json:"inputs"`
+	TimeoutMS int64                `json:"timeout_ms,omitempty"`
+	MaxCycles int64                `json:"max_cycles,omitempty"`
+}
+
+// RunStatsJSON is the wire form of the run statistics.
+type RunStatsJSON struct {
+	Cycles         int64   `json:"cycles"`
+	MaxQueue       int     `json:"max_queue"`
+	MaxQueueAt     string  `json:"max_queue_at,omitempty"`
+	AddUtilization float64 `json:"add_utilization"`
+	MulUtilization float64 `json:"mul_utilization"`
+}
+
+// RunResponse carries the outputs and statistics of one run.
+type RunResponse struct {
+	Program string               `json:"program"`
+	Cached  bool                 `json:"cached"`
+	Outputs map[string][]float64 `json:"outputs"`
+	Stats   RunStatsJSON         `json:"stats"`
+}
+
+// BatchRequest runs several requests through the pool concurrently.
+type BatchRequest struct {
+	Requests []RunRequest `json:"requests"`
+}
+
+// BatchItem is one batch result: exactly one of Result and Error is
+// set.
+type BatchItem struct {
+	Result *RunResponse `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// BatchResponse preserves request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError is an error carrying its HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style
+		// accounting keeps logs honest (no stdlib constant exists).
+		return 499
+	case errors.Is(err, warp.ErrLivelock):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := errStatus(err)
+	if status == http.StatusTooManyRequests {
+		// Backpressure contract: tell well-behaved clients when to come
+		// back instead of letting them hammer the admission queue.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &httpError{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, &httpError{http.StatusBadRequest, "missing source"})
+		return
+	}
+	start := time.Now()
+	prog, key, hit, err := s.cache.Get(r.Context(), req.Source, req.Options.warpOptions())
+	if err != nil {
+		s.metrics.Compile("error", 0)
+		s.writeError(w, err)
+		return
+	}
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	s.metrics.Compile(result, time.Since(start).Seconds())
+	resp := CompileResponse{
+		Program: key,
+		Cached:  hit,
+		Module:  prog.Metrics().Name,
+		Cells:   prog.Cells(),
+		Skew:    prog.Skew(),
+	}
+	for _, p := range prog.Params() {
+		resp.Params = append(resp.Params, ParamJSON{Name: p.Name, Out: p.Out, Size: p.Size})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve produces the program for a run request, through the cache.
+func (s *Server) resolve(ctx context.Context, req *RunRequest) (*warp.Program, string, bool, error) {
+	switch {
+	case req.Program != "" && req.Source != "":
+		return nil, "", false, &httpError{http.StatusBadRequest, "give either program or source, not both"}
+	case req.Program != "":
+		prog, ok := s.cache.Lookup(req.Program)
+		if !ok {
+			return nil, "", false, &httpError{http.StatusNotFound,
+				fmt.Sprintf("unknown or evicted program %q; POST /compile again", req.Program)}
+		}
+		return prog, req.Program, true, nil
+	case req.Source != "":
+		return s.cache.Get(ctx, req.Source, req.Options.warpOptions())
+	}
+	return nil, "", false, &httpError{http.StatusBadRequest, "missing program or source"}
+}
+
+// runOne serves one run request end to end: resolve (cache), admit
+// (pool), simulate (with deadline), aggregate (metrics).
+func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, error) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	prog, key, hit, err := s.resolve(ctx, req)
+	if err != nil {
+		s.metrics.Run("error", 0, obsSummaryZero)
+		return nil, err
+	}
+
+	maxCycles := s.cfg.MaxCycles
+	if req.MaxCycles > 0 {
+		maxCycles = req.MaxCycles
+	}
+
+	var resp *RunResponse
+	start := time.Now()
+	err = s.pool.Do(ctx, func(ctx context.Context) error {
+		out, rs, err := prog.RunWith(warp.RunConfig{Context: ctx, MaxCycles: maxCycles}, req.Inputs)
+		if err != nil {
+			return err
+		}
+		resp = &RunResponse{
+			Program: key,
+			Cached:  hit,
+			Outputs: out,
+			Stats: RunStatsJSON{
+				Cycles:         rs.Cycles,
+				MaxQueue:       rs.MaxQueue,
+				MaxQueueAt:     rs.MaxQueueAt,
+				AddUtilization: rs.AddUtilization,
+				MulUtilization: rs.MulUtilization,
+			},
+		}
+		s.metrics.Run("ok", time.Since(start).Seconds(), rs.Profile.Summarize())
+		return nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.Run("timeout", 0, obsSummaryZero)
+		case errors.Is(err, ErrBusy):
+			s.metrics.Run("rejected", 0, obsSummaryZero)
+		default:
+			s.metrics.Run("error", 0, obsSummaryZero)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.runOne(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, &httpError{http.StatusBadRequest, "empty batch"})
+		return
+	}
+	// Fan the batch out through the pool: items run concurrently up to
+	// the worker count, and each failure is per-item, not per-batch.
+	items := make([]BatchItem, len(req.Requests))
+	done := make(chan int, len(req.Requests))
+	for i := range req.Requests {
+		go func(i int) {
+			defer func() { done <- i }()
+			resp, err := s.runOne(r.Context(), &req.Requests[i])
+			if err != nil {
+				items[i].Error = err.Error()
+				return
+			}
+			items[i].Result = resp
+		}(i)
+	}
+	for range req.Requests {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.cache.Stats(), s.pool.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics exposes the registry (for the daemon's own logging).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats snapshots the compile cache.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// PoolStats snapshots the worker pool.
+func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }

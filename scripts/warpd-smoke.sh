@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke test for the warpd daemon: start it, compile and run the
+# Figure 4-1 polynomial program over HTTP, assert the second compile is
+# a cache hit, and scrape /metrics.  Needs curl and jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${WARPD_PORT:-8037}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'kill "$WARPD_PID" 2>/dev/null || true; wait "$WARPD_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/warpd" ./cmd/warpd
+"$TMP/warpd" -addr "$ADDR" -workers 2 &
+WARPD_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" -eq 50 ]; then echo "FAIL: warpd never became healthy" >&2; exit 1; fi
+  sleep 0.2
+done
+echo "healthz: ok"
+
+jq -Rs '{source: .}' testdata/polynomial.w2 > "$TMP/compile.json"
+
+CACHED1=$(curl -sf -X POST --data @"$TMP/compile.json" "$BASE/compile" | jq -r .cached)
+[ "$CACHED1" = "false" ] || { echo "FAIL: first compile reported cached=$CACHED1" >&2; exit 1; }
+echo "compile #1: miss (compiled)"
+
+CACHED2=$(curl -sf -X POST --data @"$TMP/compile.json" "$BASE/compile" | jq -r .cached)
+[ "$CACHED2" = "true" ] || { echo "FAIL: second compile reported cached=$CACHED2, want a cache hit" >&2; exit 1; }
+echo "compile #2: cache hit"
+
+jq -Rs '{source: ., inputs: {z: [range(100)|./25], c: [range(10)|./8]}}' \
+  testdata/polynomial.w2 > "$TMP/run.json"
+RUN=$(curl -sf -X POST --data @"$TMP/run.json" "$BASE/run")
+CYCLES=$(echo "$RUN" | jq -r .stats.cycles)
+NOUT=$(echo "$RUN" | jq -r '.outputs.results | length')
+[ "$CYCLES" -gt 0 ] && [ "$NOUT" -eq 100 ] || {
+  echo "FAIL: run returned cycles=$CYCLES, |results|=$NOUT" >&2; exit 1; }
+echo "run: $CYCLES cycles, $NOUT outputs"
+
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q 'warpd_compile_requests_total{result="hit"} 1' ||
+  { echo "FAIL: /metrics does not report the compile cache hit" >&2; exit 1; }
+echo "$METRICS" | grep -q 'warpd_run_requests_total{result="ok"} 1' ||
+  { echo "FAIL: /metrics does not report the completed run" >&2; exit 1; }
+echo "$METRICS" | grep -q '^warpd_sim_cycles_total [1-9]' ||
+  { echo "FAIL: /metrics does not aggregate simulated cycles" >&2; exit 1; }
+echo "metrics: ok"
+
+kill -TERM "$WARPD_PID"
+wait "$WARPD_PID"
+echo "warpd smoke: PASS"

@@ -25,15 +25,21 @@
 package warp
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"warp/internal/driver"
 	"warp/internal/interp"
 	"warp/internal/obs"
+	"warp/internal/sim"
 	"warp/internal/skew"
 	"warp/internal/w2"
 )
+
+// ErrLivelock marks a run aborted by the RunConfig.MaxCycles guard
+// (default 1<<28 cycles).  Test for it with errors.Is.
+var ErrLivelock = sim.ErrLivelock
 
 // Options control compilation.
 type Options struct {
@@ -51,6 +57,14 @@ type Options struct {
 }
 
 // Program is a compiled W2 module.
+//
+// A Program is immutable after Compile: Run and its variants build
+// fresh machine state per call and only read the compiled microcode, so
+// a single Program is safe for concurrent Run/RunContext/RunWith calls
+// from many goroutines.  The one exception is instrumentation — the
+// Recorder passed to Compile (and any passed via RunConfig) receives
+// events from every concurrent run, so it must itself be
+// concurrency-safe; the default nil Recorder is.
 type Program struct {
 	c           *driver.Compiled
 	rec         obs.Recorder
@@ -100,11 +114,38 @@ type RunStats struct {
 	Profile *obs.Profile
 }
 
+// RunConfig controls one execution of a compiled program.  The zero
+// value is Run's behaviour: run to completion with the default livelock
+// guard.
+type RunConfig struct {
+	// Context, when non-nil, aborts the simulation once it is cancelled
+	// — the run loop polls it every few thousand cycles, so a deadline
+	// or client disconnect stops a runaway simulation promptly instead
+	// of waiting out the MaxCycles guard.  The returned error wraps
+	// ctx.Err().
+	Context context.Context
+	// MaxCycles overrides the runaway-simulation guard (0 keeps the
+	// default of 1<<28 cycles).  On overrun the error wraps ErrLivelock.
+	MaxCycles int64
+}
+
 // Run executes the compiled program on the simulated Warp machine with
 // the given input arrays (keyed by "in" parameter name) and returns the
 // output arrays (keyed by "out" parameter name).
 func (p *Program) Run(inputs map[string][]float64) (map[string][]float64, *RunStats, error) {
-	return p.run(inputs, p.rec)
+	return p.runWith(inputs, RunConfig{}, p.rec)
+}
+
+// RunContext runs like Run but aborts when ctx is cancelled (a deadline
+// or a client disconnect), returning an error that wraps ctx.Err().
+func (p *Program) RunContext(ctx context.Context, inputs map[string][]float64) (map[string][]float64, *RunStats, error) {
+	return p.runWith(inputs, RunConfig{Context: ctx}, p.rec)
+}
+
+// RunWith runs under full run-time configuration: cancellation context
+// and livelock guard.
+func (p *Program) RunWith(cfg RunConfig, inputs map[string][]float64) (map[string][]float64, *RunStats, error) {
+	return p.runWith(inputs, cfg, p.rec)
 }
 
 // RunTraced runs like Run but additionally streams a Chrome trace-event
@@ -112,19 +153,28 @@ func (p *Program) Run(inputs map[string][]float64) (map[string][]float64, *RunSt
 // queue; load the file in Perfetto or chrome://tracing).  The compiled
 // program's phase timings appear on a separate "compiler" track.
 func (p *Program) RunTraced(inputs map[string][]float64, trace io.Writer) (map[string][]float64, *RunStats, error) {
+	return p.RunTracedWith(RunConfig{}, inputs, trace)
+}
+
+// RunTracedWith runs like RunTraced under the given run configuration.
+func (p *Program) RunTracedWith(cfg RunConfig, inputs map[string][]float64, trace io.Writer) (map[string][]float64, *RunStats, error) {
 	tracer := obs.NewChromeTracer(trace)
 	for _, ph := range p.c.Phases {
 		tracer.Phase(ph.Name, ph.Seconds, ph.Size, ph.Note)
 	}
-	out, rs, err := p.run(inputs, obs.Multi(p.rec, tracer))
+	out, rs, err := p.runWith(inputs, cfg, obs.Multi(p.rec, tracer))
 	if cerr := tracer.Close(); err == nil && cerr != nil {
 		return nil, nil, cerr
 	}
 	return out, rs, err
 }
 
-func (p *Program) run(inputs map[string][]float64, rec obs.Recorder) (map[string][]float64, *RunStats, error) {
-	out, stats, err := driver.RunObserved(p.c, inputs, rec)
+func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Recorder) (map[string][]float64, *RunStats, error) {
+	out, stats, err := driver.RunWith(p.c, inputs, driver.RunOptions{
+		Ctx:       cfg.Context,
+		Recorder:  rec,
+		MaxCycles: cfg.MaxCycles,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
