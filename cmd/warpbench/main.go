@@ -4,10 +4,17 @@
 // Usage:
 //
 //	warpbench [-exp name] [-pipeline]
+//	warpbench -json out.json [-iters n]
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
 // table6-4, table6-5, table7-1, throughput, utilization, varskew,
 // all (default).
+//
+// With -json, warpbench instead runs the machine-readable benchmark
+// suite (internal/bench) and writes every experiment's cycle counts,
+// microcode sizes and wall-clock stats as a stable JSON schema — the
+// input to scripts/benchgate.go, which compares a fresh run against the
+// committed BENCH_*.json baseline.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"warp"
+	"warp/internal/bench"
 	"warp/internal/commgraph"
 	"warp/internal/interp"
 	"warp/internal/ir"
@@ -33,7 +41,24 @@ var pipeline = flag.Bool("pipeline", true, "software pipeline innermost loops in
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
+	jsonOut := flag.String("json", "", "write the machine-readable benchmark suite to this file and exit")
+	iters := flag.Int("iters", 5, "wall-clock iterations per experiment with -json")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		report, err := bench.Run(*iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "warpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("warpbench: wrote %d experiments to %s (%d wall-clock iterations each)\n",
+			len(report.Experiments), *jsonOut, *iters)
+		return
+	}
 
 	exps := map[string]func() error{
 		"fig3-1":      fig31,

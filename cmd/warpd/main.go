@@ -6,7 +6,8 @@
 // Usage:
 //
 //	warpd [-addr :8037] [-workers n] [-queue n] [-cache n]
-//	      [-timeout 30s] [-max-cycles n]
+//	      [-timeout 30s] [-max-cycles n] [-log text|json] [-log-level info]
+//	      [-flight n] [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -18,11 +19,19 @@
 //	POST /batch    {"requests": [<run request>, ...]}
 //	GET  /metrics  Prometheus text format
 //	GET  /healthz  liveness
+//	GET  /debug/requests             last N requests with span trees (JSON)
+//	GET  /debug/requests/{id}/trace  one request as a Chrome trace download
 //
-// Saturation returns 429 with Retry-After; per-request deadlines abort
-// the simulation itself (the run loop polls the context), so a hung or
+// Saturation returns 429 with a Retry-After derived from the observed
+// median run latency and queue depth; per-request deadlines abort the
+// simulation itself (the run loop polls the context), so a hung or
 // oversized job cannot pin a worker.  SIGINT/SIGTERM drain in-flight
 // runs before exit.
+//
+// Every served request emits one structured log record (request ID,
+// outcome, per-stage span durations).  -debug-addr starts a second
+// listener exposing net/http/pprof — opt-in, and meant to stay off the
+// service port.
 package main
 
 import (
@@ -30,8 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,11 +59,21 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-run deadline")
 		maxCycles = flag.Int64("max-cycles", 0, "per-run livelock guard (0 = simulator default, 1<<28)")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight runs")
+		logFormat = flag.String("log", "text", "log format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		flight    = flag.Int("flight", 64, "requests kept in the /debug/requests flight recorder (negative disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "opt-in listener for net/http/pprof (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: warpd [flags]")
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -63,6 +83,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxCycles:      *maxCycles,
+		Logger:         logger,
+		FlightSize:     *flight,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -70,29 +92,66 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
-		log.Printf("warpd: listening on %s (%d workers, queue %d, cache %d)",
-			*addr, *workers, *queue, *cacheSize)
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queue, "cache", *cacheSize, "flight", *flight)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener (pprof)", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("warpd: %s; draining in-flight runs (grace %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "grace", drain.String())
 	case err := <-errc:
-		log.Fatalf("warpd: %v", err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("warpd: shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
 	}
 	svc.Close() // waits for every admitted simulation to retire
 	cs, ps := svc.CacheStats(), svc.PoolStats()
-	log.Printf("warpd: done (cache %d/%d hits/misses, %d runs completed)",
-		cs.Hits, cs.Misses, ps.Completed)
+	logger.Info("done", "cache_hits", cs.Hits, "cache_misses", cs.Misses, "runs_completed", ps.Completed)
+}
+
+// buildLogger assembles the slog logger the daemon and the service
+// share, on stderr so request logs never mix with piped output.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log %q: want text or json", format)
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
-//	        [-check] [-trace out.json] [-stats] [-max-cycles n] program.w2
+//	        [-check] [-trace out.json] [-stats] [-stats-json out.json]
+//	        [-max-cycles n] program.w2
 //
 // The program argument is a W2 source file, or the name of a built-in
 // workload (matmul, polynomial, conv1d, binop, fft, colorseg,
@@ -18,7 +19,9 @@
 // Observability: -trace writes a Chrome trace-event JSON file (load it
 // at https://ui.perfetto.dev — one track per cell, functional unit and
 // queue, plus a compiler-phase track); -stats prints the per-cell
-// utilization/stall table and the compiler's per-phase timing.
+// utilization/stall table and the compiler's per-phase timing;
+// -stats-json writes the run record in the same JSON schema as
+// `warpbench -json` (one per-experiment record, schema warpbench/1).
 package main
 
 import (
@@ -29,8 +32,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"warp"
+	"warp/internal/bench"
 	"warp/internal/workloads"
 )
 
@@ -44,6 +49,7 @@ func main() {
 		outPath   = flag.String("o", "", "write outputs as JSON to this file (default stdout summary)")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 		stats     = flag.Bool("stats", false, "print per-cell utilization/stall table and compile-phase timing")
+		statsJSON = flag.String("stats-json", "", "write the run record as benchmark JSON (warpbench -json schema)")
 		maxCycles = flag.Int64("max-cycles", 0, "abort the simulation after this many cycles (0 = default, 1<<28)")
 	)
 	flag.Parse()
@@ -76,6 +82,7 @@ func main() {
 	runCfg := warp.RunConfig{MaxCycles: *maxCycles}
 	var out map[string][]float64
 	var rstats *warp.RunStats
+	runStart := time.Now()
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -98,6 +105,18 @@ func main() {
 	m := prog.Metrics()
 	fmt.Printf("module %s: %d cells, skew %d, %d cycles, peak queue %d (%s)\n",
 		m.Name, m.Cells, m.Skew, rstats.Cycles, rstats.MaxQueue, rstats.MaxQueueAt)
+
+	if *statsJSON != "" {
+		wallNS := int64(time.Since(runStart))
+		rep := &bench.Report{Schema: bench.Schema, Experiments: []bench.Experiment{
+			bench.FromRun("warpsim/"+m.Name, m, rstats,
+				&bench.Wall{Iters: 1, MedianNS: wallNS, MinNS: wallNS}),
+		}}
+		if err := rep.WriteFile(*statsJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("stats: wrote %s (%s schema)\n", *statsJSON, bench.Schema)
+	}
 
 	if *stats {
 		fmt.Println()

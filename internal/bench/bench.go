@@ -1,0 +1,326 @@
+// Package bench defines the machine-readable benchmark artifact shared
+// by `warpbench -json`, `warpsim -stats-json` and
+// `scripts/benchgate.go`: a stable JSON schema recording every
+// experiment's deterministic results (simulated cycle counts, µcode
+// sizes) next to its non-deterministic wall-clock statistics
+// (median/min over several iterations), plus the comparison logic the
+// regression gate applies between a fresh run and a committed
+// BENCH_*.json baseline.
+//
+// The split matters for gating: cycle counts and µcode sizes are exact
+// outputs of a deterministic compiler and simulator, so any change is a
+// real behavior change and the gate can hard-fail on them; wall-clock
+// numbers vary with the host, so the gate only warns on drift.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"warp"
+	"warp/internal/workloads"
+)
+
+// Schema identifies the report format.  Bump it only on incompatible
+// changes; additive optional fields keep the version.
+const Schema = "warpbench/1"
+
+// Wall is the wall-clock statistic of one experiment over several
+// iterations.  Median and min are both recorded: median is the robust
+// central tendency the gate compares, min approximates the noise floor.
+type Wall struct {
+	Iters    int   `json:"iters"`
+	MedianNS int64 `json:"median_ns"`
+	MinNS    int64 `json:"min_ns"`
+}
+
+// Experiment is one benchmark record.  Deterministic fields (Cycles,
+// CellUcode, IUUcode, W2Lines, Cells, Skew) are gate-comparable;
+// utilization fractions and Wall are informational.
+type Experiment struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "compile" or "run"
+
+	Cells     int   `json:"cells,omitempty"`
+	Skew      int64 `json:"skew,omitempty"`
+	W2Lines   int   `json:"w2_lines,omitempty"`
+	CellUcode int   `json:"cell_ucode,omitempty"`
+	IUUcode   int   `json:"iu_ucode,omitempty"`
+
+	Cycles    int64   `json:"cycles,omitempty"`
+	AddUtil   float64 `json:"add_util,omitempty"`
+	MulUtil   float64 `json:"mul_util,omitempty"`
+	PeakQueue int     `json:"peak_queue,omitempty"`
+
+	Wall *Wall `json:"wall,omitempty"`
+}
+
+// Report is the top-level artifact.
+type Report struct {
+	Schema      string       `json:"schema"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// FromRun builds a run-kind record from a compiled program's metrics
+// and one run's statistics — the shared constructor that keeps warpsim
+// -stats-json and warpbench -json emitting identical shapes.
+func FromRun(name string, m warp.Metrics, rs *warp.RunStats, wall *Wall) Experiment {
+	return Experiment{
+		Name:      name,
+		Kind:      "run",
+		Cells:     m.Cells,
+		Skew:      m.Skew,
+		W2Lines:   m.W2Lines,
+		CellUcode: m.CellInstrs,
+		IUUcode:   m.IUInstrs,
+		Cycles:    rs.Cycles,
+		AddUtil:   rs.AddUtilization,
+		MulUtil:   rs.MulUtilization,
+		PeakQueue: rs.MaxQueue,
+		Wall:      wall,
+	}
+}
+
+// Write renders the report as indented JSON with experiments sorted
+// by name, so regenerated baselines diff cleanly.
+func (r *Report) Write(w io.Writer) error {
+	sort.Slice(r.Experiments, func(i, j int) bool {
+		return r.Experiments[i].Name < r.Experiments[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, this tool understands %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// compileCase is one Table 7-1 compilation benchmark.
+type compileCase struct {
+	name string
+	src  func() string
+}
+
+// runCase is one simulation benchmark; the cycle counts are the pinned
+// baselines every perf PR is judged against (the first four match
+// TestObsNeutral's 1322/225/634/719).
+type runCase struct {
+	name string
+	src  func() string
+	pipe bool
+}
+
+func compileCases() []compileCase {
+	return []compileCase{
+		{"1d-conv", workloads.Conv1DPaper},
+		{"binop", workloads.BinopPaper},
+		{"colorseg", workloads.ColorSegPaper},
+		{"mandelbrot", workloads.MandelbrotPaper},
+		{"polynomial", workloads.PolynomialPaper},
+	}
+}
+
+func runCases() []runCase {
+	return []runCase{
+		{"polynomial-plain", func() string { return workloads.Polynomial(10, 100) }, false},
+		{"polynomial-pipelined", func() string { return workloads.Polynomial(10, 100) }, true},
+		{"conv1d-pipelined", func() string { return workloads.Conv1D(9, 512) }, true},
+		{"matmul10-pipelined", func() string { return workloads.Matmul(10) }, true},
+		{"polynomial-large-pipelined", func() string { return workloads.Polynomial(10, 400) }, true},
+		{"conv1d-large-pipelined", func() string { return workloads.Conv1D(9, 2048) }, true},
+	}
+}
+
+// zeroInputs builds zero-filled input arrays of the declared sizes —
+// inputs never affect timing (the machine is statically scheduled), so
+// zeros keep runs deterministic and cheap.
+func zeroInputs(prog *warp.Program) map[string][]float64 {
+	in := map[string][]float64{}
+	for _, p := range prog.Params() {
+		if !p.Out {
+			in[p.Name] = make([]float64, p.Size)
+		}
+	}
+	return in
+}
+
+// wallStats reduces per-iteration wall times to the Wall record.
+func wallStats(durs []time.Duration) *Wall {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Wall{
+		Iters:    len(sorted),
+		MedianNS: int64(sorted[len(sorted)/2]),
+		MinNS:    int64(sorted[0]),
+	}
+}
+
+// Run executes the benchmark suite: the five Table 7-1 compilations
+// (software pipelining on, wall-clock measured per compile) and the
+// pinned simulation workloads (compile once, run iters times).  iters
+// < 1 is treated as 1.
+func Run(iters int) (*Report, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &Report{Schema: Schema}
+
+	for _, cc := range compileCases() {
+		src := cc.src()
+		var prog *warp.Program
+		var err error
+		durs := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			prog, err = warp.Compile(src, warp.Options{Pipeline: true})
+			durs[i] = time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("compile/%s: %w", cc.name, err)
+			}
+		}
+		m := prog.Metrics()
+		rep.Experiments = append(rep.Experiments, Experiment{
+			Name: "compile/" + cc.name, Kind: "compile",
+			Cells: m.Cells, Skew: m.Skew, W2Lines: m.W2Lines,
+			CellUcode: m.CellInstrs, IUUcode: m.IUInstrs,
+			Wall: wallStats(durs),
+		})
+	}
+
+	for _, rc := range runCases() {
+		prog, err := warp.Compile(rc.src(), warp.Options{Pipeline: rc.pipe})
+		if err != nil {
+			return nil, fmt.Errorf("run/%s: compile: %w", rc.name, err)
+		}
+		inputs := zeroInputs(prog)
+		var rs *warp.RunStats
+		durs := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			_, rs, err = prog.Run(inputs)
+			durs[i] = time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("run/%s: %w", rc.name, err)
+			}
+		}
+		rep.Experiments = append(rep.Experiments,
+			FromRun("run/"+rc.name, prog.Metrics(), rs, wallStats(durs)))
+	}
+	return rep, nil
+}
+
+// Verdict is the outcome of comparing a fresh report to a baseline.
+// Regressions fail the gate; warnings are advisory (wall-clock drift,
+// improvements awaiting a baseline refresh, coverage changes).
+type Verdict struct {
+	Regressions []string
+	Warnings    []string
+}
+
+// OK reports whether the gate passes.
+func (v *Verdict) OK() bool { return len(v.Regressions) == 0 }
+
+// Compare gates fresh against base.  Deterministic counters (cycles,
+// µcode sizes) changing by more than cycleThreshold (a fraction; 0
+// means any change) in the regression direction fail; any other
+// deterministic change warns so the baseline gets refreshed.  Wall
+// medians drifting up by more than wallThreshold warn.
+func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdict {
+	v := &Verdict{}
+	baseBy := map[string]*Experiment{}
+	for i := range base.Experiments {
+		baseBy[base.Experiments[i].Name] = &base.Experiments[i]
+	}
+	freshNames := map[string]bool{}
+
+	for i := range fresh.Experiments {
+		f := &fresh.Experiments[i]
+		freshNames[f.Name] = true
+		b, ok := baseBy[f.Name]
+		if !ok {
+			v.Warnings = append(v.Warnings,
+				fmt.Sprintf("%s: new experiment (absent from baseline); refresh BENCH_*.json", f.Name))
+			continue
+		}
+		for _, cnt := range []struct {
+			field    string
+			old, new int64
+		}{
+			{"cycles", b.Cycles, f.Cycles},
+			{"cell µcode", int64(b.CellUcode), int64(f.CellUcode)},
+			{"IU µcode", int64(b.IUUcode), int64(f.IUUcode)},
+			{"skew", b.Skew, f.Skew},
+		} {
+			if cnt.old == cnt.new {
+				continue
+			}
+			if cnt.old == 0 {
+				v.Warnings = append(v.Warnings, fmt.Sprintf("%s: %s appeared (%d); refresh BENCH_*.json",
+					f.Name, cnt.field, cnt.new))
+				continue
+			}
+			frac := float64(cnt.new-cnt.old) / float64(cnt.old)
+			switch {
+			case frac > cycleThreshold:
+				v.Regressions = append(v.Regressions,
+					fmt.Sprintf("%s: %s regressed %d -> %d (%+.1f%%, threshold %.1f%%)",
+						f.Name, cnt.field, cnt.old, cnt.new, 100*frac, 100*cycleThreshold))
+			default:
+				dir := "improved"
+				if frac > 0 {
+					dir = "grew"
+				}
+				v.Warnings = append(v.Warnings,
+					fmt.Sprintf("%s: %s %s %d -> %d (%+.1f%%); refresh BENCH_*.json to lock it in",
+						f.Name, cnt.field, dir, cnt.old, cnt.new, 100*frac))
+			}
+		}
+		if b.Wall != nil && f.Wall != nil && b.Wall.MedianNS > 0 {
+			drift := float64(f.Wall.MedianNS-b.Wall.MedianNS) / float64(b.Wall.MedianNS)
+			if drift > wallThreshold {
+				v.Warnings = append(v.Warnings,
+					fmt.Sprintf("%s: wall median drifted %s -> %s (%+.0f%%) — informational, hosts differ",
+						f.Name, time.Duration(b.Wall.MedianNS), time.Duration(f.Wall.MedianNS), 100*drift))
+			}
+		}
+	}
+	for name := range baseBy {
+		if !freshNames[name] {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: experiment vanished from the fresh run (coverage loss)", name))
+		}
+	}
+	sort.Strings(v.Regressions)
+	sort.Strings(v.Warnings)
+	return v
+}

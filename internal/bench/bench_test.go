@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportRoundTrip pins the schema: a written report reads back
+// identically and carries the schema tag the gate validates.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{Schema: Schema, Experiments: []Experiment{
+		{Name: "run/x", Kind: "run", Cells: 10, Skew: 3, Cycles: 225,
+			CellUcode: 41, IUUcode: 43, AddUtil: 0.94, MulUtil: 0.94,
+			PeakQueue: 5, Wall: &Wall{Iters: 5, MedianNS: 1e6, MinNS: 9e5}},
+		{Name: "compile/a", Kind: "compile", W2Lines: 27, CellUcode: 41,
+			IUUcode: 43, Wall: &Wall{Iters: 5, MedianNS: 2e6, MinNS: 1e6}},
+	}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Experiments) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// Write sorts by name for diff-stable baselines.
+	if got.Experiments[0].Name != "compile/a" {
+		t.Errorf("experiments not sorted: %q first", got.Experiments[0].Name)
+	}
+	if e := got.Experiments[1]; e.Cycles != 225 || e.Wall == nil || e.Wall.MedianNS != 1e6 {
+		t.Errorf("run record mangled: %+v", e)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := &Report{Schema: "warpbench/999"}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("ReadFile accepted an unknown schema: %v", err)
+	}
+}
+
+func rpt(exps ...Experiment) *Report { return &Report{Schema: Schema, Experiments: exps} }
+
+// TestCompareGate exercises every verdict class: identical reports
+// pass clean; a >threshold cycle regression fails; a small change or an
+// improvement warns; wall drift warns; vanished coverage fails.
+func TestCompareGate(t *testing.T) {
+	base := rpt(
+		Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42,
+			Wall: &Wall{Iters: 3, MedianNS: 1000, MinNS: 900}},
+		Experiment{Name: "run/b", Cycles: 500},
+	)
+
+	t.Run("identical", func(t *testing.T) {
+		v := Compare(base, base, 0.10, 0.50)
+		if !v.OK() || len(v.Warnings) != 0 {
+			t.Fatalf("identical reports produced %+v", v)
+		}
+	})
+
+	t.Run("cycle regression fails", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1200, CellUcode: 40, IUUcode: 42},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		v := Compare(base, fresh, 0.10, 0.50)
+		if v.OK() {
+			t.Fatal("a +20% cycle regression passed the gate")
+		}
+		if !strings.Contains(strings.Join(v.Regressions, "\n"), "cycles regressed 1000 -> 1200") {
+			t.Errorf("regression message: %v", v.Regressions)
+		}
+	})
+
+	t.Run("zero threshold fails any increase", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1001, CellUcode: 40, IUUcode: 42},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		if v := Compare(base, fresh, 0, 0.50); v.OK() {
+			t.Fatal("+1 cycle passed with threshold 0")
+		}
+	})
+
+	t.Run("improvement warns", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 800, CellUcode: 40, IUUcode: 42},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		v := Compare(base, fresh, 0.10, 0.50)
+		if !v.OK() {
+			t.Fatalf("an improvement failed the gate: %v", v.Regressions)
+		}
+		if len(v.Warnings) == 0 || !strings.Contains(v.Warnings[0], "improved") {
+			t.Errorf("improvement did not warn for a baseline refresh: %v", v.Warnings)
+		}
+	})
+
+	t.Run("wall drift warns only", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42,
+				Wall: &Wall{Iters: 3, MedianNS: 5000, MinNS: 4000}},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		v := Compare(base, fresh, 0.10, 0.50)
+		if !v.OK() {
+			t.Fatalf("wall drift failed the gate: %v", v.Regressions)
+		}
+		if !strings.Contains(strings.Join(v.Warnings, "\n"), "wall median drifted") {
+			t.Errorf("no wall-drift warning: %v", v.Warnings)
+		}
+	})
+
+	t.Run("vanished experiment fails", func(t *testing.T) {
+		fresh := rpt(Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42})
+		if v := Compare(base, fresh, 0.10, 0.50); v.OK() {
+			t.Fatal("losing run/b coverage passed the gate")
+		}
+	})
+
+	t.Run("new experiment warns", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42},
+			Experiment{Name: "run/b", Cycles: 500},
+			Experiment{Name: "run/c", Cycles: 7},
+		)
+		v := Compare(base, fresh, 0.10, 0.50)
+		if !v.OK() || len(v.Warnings) != 1 {
+			t.Fatalf("new experiment: %+v", v)
+		}
+	})
+}
+
+// TestRunPinsBaselines runs the real suite once and asserts the four
+// pinned cycle counts — the same 1322/225/634/719 TestObsNeutral and
+// EXPERIMENTS.md record — so BENCH_*.json, the tests and the docs can
+// never silently disagree.
+func TestRunPinsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the full Table 7-1 suite")
+	}
+	rep, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"run/polynomial-plain":     1322,
+		"run/polynomial-pipelined": 225,
+		"run/conv1d-pipelined":     634,
+		"run/matmul10-pipelined":   719,
+	}
+	got := map[string]int64{}
+	for _, e := range rep.Experiments {
+		got[e.Name] = e.Cycles
+		if e.Wall == nil || e.Wall.Iters != 1 || e.Wall.MedianNS <= 0 {
+			t.Errorf("%s: bad wall stats %+v", e.Name, e.Wall)
+		}
+	}
+	for name, cycles := range want {
+		if got[name] != cycles {
+			t.Errorf("%s = %d cycles, want the pinned baseline %d", name, got[name], cycles)
+		}
+	}
+	if len(rep.Experiments) != len(compileCases())+len(runCases()) {
+		t.Errorf("suite ran %d experiments, want %d", len(rep.Experiments),
+			len(compileCases())+len(runCases()))
+	}
+}

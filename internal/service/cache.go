@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"warp"
+	"warp/internal/obs"
 )
 
 // CompileFunc compiles W2 source under the given options.  The cache
@@ -99,6 +100,16 @@ func NewCache(max int, compile CompileFunc) *Cache {
 // fresh compilation.  ctx bounds only this caller's wait — an abandoned
 // compilation still completes and populates the cache for others.
 func (c *Cache) Get(ctx context.Context, src string, opts warp.Options) (prog *warp.Program, key string, hit bool, err error) {
+	return c.GetObserved(ctx, src, opts, nil)
+}
+
+// GetObserved is Get with a per-request instrumentation recorder: when
+// this caller ends up owning the compilation flight, rec receives the
+// compiler's Phase events (a request-scoped trace turns them into
+// spans).  Singleflight waiters and cache hits see no phases — their
+// request did not compile anything, and saying so is the point of
+// request-scoped tracing.  rec never influences the content address.
+func (c *Cache) GetObserved(ctx context.Context, src string, opts warp.Options, rec obs.Recorder) (prog *warp.Program, key string, hit bool, err error) {
 	key = Key(src, opts)
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -130,7 +141,13 @@ func (c *Cache) Get(ctx context.Context, src string, opts warp.Options) (prog *w
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	f.prog, f.err = c.compile(src, opts)
+	if obs.Enabled(rec) {
+		copts := opts
+		copts.Recorder = obs.Multi(opts.Recorder, rec)
+		f.prog, f.err = c.compile(src, copts)
+	} else {
+		f.prog, f.err = c.compile(src, opts)
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"warp/internal/obs"
+)
+
+// RequestRecord is one served request in the flight recorder: the
+// outcome scalars the operator greps for plus the full span tree the
+// request accumulated (queue wait, cache lookup, per-phase compile,
+// run — with the simulator's profile summary attached to the run span).
+type RequestRecord struct {
+	ID       string    `json:"id"`
+	Endpoint string    `json:"endpoint"`
+	Start    time.Time `json:"start"`
+	Outcome  string    `json:"outcome"` // ok|error|timeout|rejected|canceled|livelock
+	Status   int       `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	Program  string    `json:"program,omitempty"` // content address
+	Cached   bool      `json:"cached,omitempty"`
+	Cycles   int64     `json:"cycles,omitempty"`
+	// TotalNS is the root span's duration — the number the log line
+	// reports, against which the child spans must sum consistently.
+	TotalNS int64            `json:"total_ns"`
+	Spans   []obs.SpanRecord `json:"spans"`
+}
+
+// flightRecorder is a fixed-size ring of the last N RequestRecords —
+// the "what just happened" debugging surface behind GET /debug/requests.
+// Writes are O(1); snapshots copy, so serving a snapshot never blocks
+// request recording for long.
+type flightRecorder struct {
+	mu   sync.Mutex
+	buf  []*RequestRecord // ring storage
+	next int              // next write position
+	n    int              // records stored (<= len(buf))
+}
+
+// newFlightRecorder builds a ring holding the last size requests.
+// size < 1 disables recording (every method no-ops).
+func newFlightRecorder(size int) *flightRecorder {
+	if size < 1 {
+		return &flightRecorder{}
+	}
+	return &flightRecorder{buf: make([]*RequestRecord, size)}
+}
+
+func (f *flightRecorder) enabled() bool { return len(f.buf) > 0 }
+
+// add records one finished request, evicting the oldest when full.
+func (f *flightRecorder) add(r *RequestRecord) {
+	if !f.enabled() {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = r
+	f.next = (f.next + 1) % len(f.buf)
+	if f.n < len(f.buf) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// snapshot returns the recorded requests, newest first.
+func (f *flightRecorder) snapshot() []*RequestRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*RequestRecord, 0, f.n)
+	for i := 1; i <= f.n; i++ {
+		out = append(out, f.buf[(f.next-i+len(f.buf))%len(f.buf)])
+	}
+	return out
+}
+
+// get returns the record with the given ID, or nil.
+func (f *flightRecorder) get(id string) *RequestRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 1; i <= f.n; i++ {
+		if r := f.buf[(f.next-i+len(f.buf))%len(f.buf)]; r != nil && r.ID == id {
+			return r
+		}
+	}
+	return nil
+}

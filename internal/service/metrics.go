@@ -38,6 +38,23 @@ func (h *histogram) observe(seconds float64) {
 	h.sum += seconds
 }
 
+// quantile estimates the q-quantile (0..1) from the bucket counts,
+// returning the upper bound of the first bucket whose cumulative count
+// reaches the target.  An empty histogram yields 0; samples beyond the
+// last bound yield the last bound (good enough for a backoff hint).
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	for i, le := range latencyBuckets {
+		if h.counts[i] > target {
+			return le
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
 // write renders the histogram in Prometheus text format under name.
 func (h *histogram) write(w io.Writer, name string) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
@@ -120,6 +137,15 @@ func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
 		m.peakQueue = sum.PeakQueue
 		m.peakQueueAt = sum.PeakQueueAt
 	}
+}
+
+// MedianRunSeconds estimates the median completed-run service time from
+// the latency histogram — the observed-load signal behind the 429
+// Retry-After hint.  0 means no run has completed yet.
+func (m *Metrics) MedianRunSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runLatency.quantile(0.5)
 }
 
 // WritePrometheus renders the registry, plus the given cache and pool

@@ -5,10 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"warp"
+	"warp/internal/obs"
 )
 
 // Config sizes the service.
@@ -32,6 +38,13 @@ type Config struct {
 	// Compile substitutes the compiler entry point (nil = warp.Compile);
 	// tests use it to instrument driver invocations.
 	Compile CompileFunc
+	// Logger receives one structured record per served request (ID,
+	// outcome, span durations).  nil discards.
+	Logger *slog.Logger
+	// FlightSize is how many recent requests the flight recorder keeps
+	// for GET /debug/requests (default 64; negative disables per-request
+	// tracing entirely).
+	FlightSize int
 }
 
 // Server is the compile-and-run service: an http.Handler in front of
@@ -42,6 +55,9 @@ type Server struct {
 	metrics *Metrics
 	cfg     Config
 	mux     *http.ServeMux
+	log     *slog.Logger
+	flight  *flightRecorder
+	seq     atomic.Int64 // request-ID counter
 }
 
 // New builds a Server from the config, applying defaults for zero
@@ -62,18 +78,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.FlightSize == 0 {
+		cfg.FlightSize = 64
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cache:   NewCache(cfg.CacheSize, cfg.Compile),
 		pool:    NewPool(cfg.Workers, cfg.QueueCap),
 		metrics: NewMetrics(),
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
+		log:     logger,
+		flight:  newFlightRecorder(cfg.FlightSize),
 	}
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugTrace)
 	return s
 }
 
@@ -208,9 +235,27 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if status == http.StatusTooManyRequests {
 		// Backpressure contract: tell well-behaved clients when to come
 		// back instead of letting them hammer the admission queue.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds derives the 429 backoff hint from observed load:
+// the median completed-run latency times the work queued ahead of a
+// retry, spread across the workers.  Floor 1s (the header must be a
+// positive integer), cap 60s so a pathological median cannot tell
+// clients to go away for minutes.
+func (s *Server) retryAfterSeconds() int {
+	ps := s.pool.Stats()
+	est := s.metrics.MedianRunSeconds() * float64(ps.QueueDepth+ps.InFlight+1) / float64(ps.Workers)
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
@@ -233,18 +278,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &httpError{http.StatusBadRequest, "missing source"})
 		return
 	}
+	rc := s.beginRequest("/compile")
 	start := time.Now()
-	prog, key, hit, err := s.cache.Get(r.Context(), req.Source, req.Options.warpOptions())
+	cacheSpan := rc.tr.StartSpan("cache", rc.root)
+	prog, key, hit, err := s.cache.GetObserved(r.Context(), req.Source, req.Options.warpOptions(),
+		obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
+		cacheSpan.End()
 		s.metrics.Compile("error", 0)
+		s.finishRequest(rc, err)
 		s.writeError(w, err)
 		return
 	}
-	result := "miss"
-	if hit {
-		result = "hit"
-	}
-	s.metrics.Compile(result, time.Since(start).Seconds())
+	cacheSpan.Annotate("result", cacheResult(hit))
+	cacheSpan.End()
+	rc.program, rc.cached = key, hit
+	s.metrics.Compile(cacheResult(hit), time.Since(start).Seconds())
+	s.finishRequest(rc, nil)
 	resp := CompileResponse{
 		Program: key,
 		Cached:  hit,
@@ -259,7 +309,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolve produces the program for a run request, through the cache.
-func (s *Server) resolve(ctx context.Context, req *RunRequest) (*warp.Program, string, bool, error) {
+// rec receives compiler Phase events if this request ends up compiling.
+func (s *Server) resolve(ctx context.Context, req *RunRequest, rec obs.Recorder) (*warp.Program, string, bool, error) {
 	switch {
 	case req.Program != "" && req.Source != "":
 		return nil, "", false, &httpError{http.StatusBadRequest, "give either program or source, not both"}
@@ -271,14 +322,15 @@ func (s *Server) resolve(ctx context.Context, req *RunRequest) (*warp.Program, s
 		}
 		return prog, req.Program, true, nil
 	case req.Source != "":
-		return s.cache.Get(ctx, req.Source, req.Options.warpOptions())
+		return s.cache.GetObserved(ctx, req.Source, req.Options.warpOptions(), rec)
 	}
 	return nil, "", false, &httpError{http.StatusBadRequest, "missing program or source"}
 }
 
 // runOne serves one run request end to end: resolve (cache), admit
-// (pool), simulate (with deadline), aggregate (metrics).
-func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, error) {
+// (pool), simulate (with deadline), aggregate (metrics) — with each
+// stage recorded as a span on the request's trace.
+func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (*RunResponse, error) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -286,11 +338,18 @@ func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, err
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	prog, key, hit, err := s.resolve(ctx, req)
+	rc := s.beginRequest(endpoint)
+	cacheSpan := rc.tr.StartSpan("cache", rc.root)
+	prog, key, hit, err := s.resolve(ctx, req, obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
+		cacheSpan.End()
 		s.metrics.Run("error", 0, obsSummaryZero)
+		s.finishRequest(rc, err)
 		return nil, err
 	}
+	cacheSpan.Annotate("result", cacheResult(hit))
+	cacheSpan.End()
+	rc.program, rc.cached = key, hit
 
 	maxCycles := s.cfg.MaxCycles
 	if req.MaxCycles > 0 {
@@ -299,11 +358,19 @@ func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, err
 
 	var resp *RunResponse
 	start := time.Now()
+	queueSpan := rc.tr.StartSpan("queue-wait", rc.root)
 	err = s.pool.Do(ctx, func(ctx context.Context) error {
+		queueSpan.End() // admitted: the wait is over
+		runSpan := rc.tr.StartSpan("run", rc.root)
+		defer runSpan.End()
 		out, rs, err := prog.RunWith(warp.RunConfig{Context: ctx, MaxCycles: maxCycles}, req.Inputs)
 		if err != nil {
+			runSpan.Annotate("error", err.Error())
 			return err
 		}
+		sum := rs.Profile.Summarize()
+		runSpan.AttachSummary(sum)
+		rc.cycles = rs.Cycles
 		resp = &RunResponse{
 			Program: key,
 			Cached:  hit,
@@ -316,9 +383,12 @@ func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, err
 				MulUtilization: rs.MulUtilization,
 			},
 		}
-		s.metrics.Run("ok", time.Since(start).Seconds(), rs.Profile.Summarize())
+		s.metrics.Run("ok", time.Since(start).Seconds(), sum)
 		return nil
 	})
+	// End is idempotent: on the rejected/deadline paths the span is
+	// still open and this closes it; on the admitted path it is a no-op.
+	queueSpan.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -328,8 +398,10 @@ func (s *Server) runOne(ctx context.Context, req *RunRequest) (*RunResponse, err
 		default:
 			s.metrics.Run("error", 0, obsSummaryZero)
 		}
+		s.finishRequest(rc, err)
 		return nil, err
 	}
+	s.finishRequest(rc, nil)
 	return resp, nil
 }
 
@@ -339,7 +411,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	resp, err := s.runOne(r.Context(), &req)
+	resp, err := s.runOne(r.Context(), "/run", &req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -364,7 +436,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Requests {
 		go func(i int) {
 			defer func() { done <- i }()
-			resp, err := s.runOne(r.Context(), &req.Requests[i])
+			resp, err := s.runOne(r.Context(), "/batch", &req.Requests[i])
 			if err != nil {
 				items[i].Error = err.Error()
 				return

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -334,21 +335,36 @@ func TestServiceBackpressure(t *testing.T) {
 	}
 
 	const inflight = 6
-	statuses := make(chan int, inflight)
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	outcomes := make(chan outcome, inflight)
 	var wg sync.WaitGroup
 	for i := 0; i < inflight; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			resp, _ := postJSON(t, client, ts.URL+"/run", RunRequest{Source: big, Inputs: inputs})
-			statuses <- resp.StatusCode
+			outcomes <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
 		}()
 	}
 	wg.Wait()
-	close(statuses)
+	close(outcomes)
 	counts := map[int]int{}
-	for s := range statuses {
-		counts[s]++
+	for o := range outcomes {
+		counts[o.status]++
+		if o.status != http.StatusTooManyRequests {
+			continue
+		}
+		// Retry-After accompanies every 429 and is derived from observed
+		// load, but the contract is a positive integer number of seconds.
+		secs, err := strconv.Atoi(o.retryAfter)
+		if err != nil {
+			t.Errorf("429 Retry-After %q is not an integer: %v", o.retryAfter, err)
+		} else if secs < 1 {
+			t.Errorf("429 Retry-After = %d, want >= 1", secs)
+		}
 	}
 	if counts[http.StatusTooManyRequests] == 0 {
 		t.Errorf("no request was turned away with 429; statuses: %v", counts)
@@ -357,7 +373,6 @@ func TestServiceBackpressure(t *testing.T) {
 		t.Errorf("no request succeeded under load; statuses: %v", counts)
 	}
 
-	// Retry-After accompanies the 429.
 	ps := svc.PoolStats()
 	if ps.Rejected == 0 {
 		t.Error("pool recorded no rejections")

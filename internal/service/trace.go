@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"warp"
+	"warp/internal/obs"
+)
+
+// requestCtx carries the per-request trace from the handler edge to the
+// finish line: the open root span plus the outcome scalars the flight
+// record and the log line report.
+type requestCtx struct {
+	id       string
+	endpoint string
+	start    time.Time
+	tr       *obs.Trace // nil when the flight recorder is disabled
+	root     *obs.Span
+	program  string // content address, once resolved
+	cached   bool
+	cycles   int64
+}
+
+// beginRequest assigns a request ID and opens the root span.  When the
+// flight recorder is disabled the trace stays nil and every span call
+// downstream is a free no-op.
+func (s *Server) beginRequest(endpoint string) *requestCtx {
+	rc := &requestCtx{
+		id:       fmt.Sprintf("r%06d", s.seq.Add(1)),
+		endpoint: endpoint,
+		start:    time.Now(),
+	}
+	if s.flight.enabled() {
+		rc.tr = obs.NewTrace()
+		rc.root = rc.tr.StartSpan("request", nil)
+		rc.root.Annotate("endpoint", endpoint)
+	}
+	return rc
+}
+
+// finishRequest closes the root span, files the flight record, and
+// emits the structured log line.  The logged total is the root span's
+// duration, so the child spans always sum consistently against it.
+func (s *Server) finishRequest(rc *requestCtx, err error) {
+	rc.root.End()
+	outcome := outcomeOf(err)
+	status := http.StatusOK
+	if err != nil {
+		status = errStatus(err)
+	}
+
+	spans := rc.tr.Spans()
+	total := int64(time.Since(rc.start))
+	if len(spans) > 0 {
+		total = spans[0].DurNS() // root is always span 0
+	}
+
+	rec := &RequestRecord{
+		ID:       rc.id,
+		Endpoint: rc.endpoint,
+		Start:    rc.start,
+		Outcome:  outcome,
+		Status:   status,
+		Program:  rc.program,
+		Cached:   rc.cached,
+		Cycles:   rc.cycles,
+		TotalNS:  total,
+		Spans:    spans,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.flight.add(rec)
+
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("id", rc.id),
+		slog.String("endpoint", rc.endpoint),
+		slog.String("outcome", outcome),
+		slog.Int("status", status),
+		slog.Int64("total_ns", total),
+	)
+	for _, name := range []string{"cache", "queue-wait", "run"} {
+		if d, ok := spanDur(spans, name); ok {
+			attrs = append(attrs, slog.Int64(name+"_ns", d))
+		}
+	}
+	if rc.program != "" {
+		attrs = append(attrs,
+			slog.String("program", shortKey(rc.program)),
+			slog.Bool("cached", rc.cached),
+		)
+	}
+	if rc.cycles > 0 {
+		attrs = append(attrs, slog.Int64("cycles", rc.cycles))
+	}
+	level := slog.LevelInfo
+	if err != nil {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	s.log.LogAttrs(context.Background(), level, "request", attrs...)
+}
+
+// outcomeOf classifies an error for the flight record and log line.
+// Finer-grained than the metrics result labels, which stay unchanged.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		return "rejected"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, warp.ErrLivelock):
+		return "livelock"
+	}
+	return "error"
+}
+
+func cacheResult(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// shortKey abbreviates a content address for log lines; the flight
+// record keeps the full key.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// spanDur finds the first span with the given name and returns its
+// duration.
+func spanDur(spans []obs.SpanRecord, name string) (int64, bool) {
+	for i := range spans {
+		if spans[i].Name == name {
+			return spans[i].DurNS(), true
+		}
+	}
+	return 0, false
+}
+
+// handleDebugRequests serves the flight recorder: the last N requests,
+// newest first, each with its full span tree.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Requests []*RequestRecord `json:"requests"`
+	}{s.flight.snapshot()})
+}
+
+// handleDebugTrace serves one recorded request as a Chrome trace-event
+// JSON download, loadable in Perfetto / chrome://tracing.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.flight.get(id)
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no recorded request %q", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".trace.json"))
+	_ = obs.WriteChromeSpans(w, rec.Spans)
+}

@@ -40,6 +40,26 @@ NOUT=$(echo "$RUN" | jq -r '.outputs.results | length')
   echo "FAIL: run returned cycles=$CYCLES, |results|=$NOUT" >&2; exit 1; }
 echo "run: $CYCLES cycles, $NOUT outputs"
 
+# The flight recorder saw all three requests, newest first, and the run
+# request carries a full span tree: request stages plus the per-phase
+# compile spans under the cache lookup (the run compiled nothing — its
+# program was already cached — so the phases live on the first compile).
+DEBUG=$(curl -sf "$BASE/debug/requests")
+NREQ=$(echo "$DEBUG" | jq '.requests | length')
+[ "$NREQ" -eq 3 ] || { echo "FAIL: /debug/requests holds $NREQ records, want 3" >&2; exit 1; }
+echo "$DEBUG" | jq -e '[.requests[0].spans[].name] | contains(["request","cache","queue-wait","run"])' >/dev/null ||
+  { echo "FAIL: run request span tree lacks the request stages" >&2; exit 1; }
+echo "$DEBUG" | jq -e '[.requests[].spans[].name] | contains(["parse","cellgen"])' >/dev/null ||
+  { echo "FAIL: no request recorded per-phase compile spans" >&2; exit 1; }
+echo "$DEBUG" | jq -e '.requests[0].total_ns > 0 and ([.requests[0].spans[].end_ns] | min >= 0)' >/dev/null ||
+  { echo "FAIL: run request spans are not closed with a positive total" >&2; exit 1; }
+echo "$DEBUG" | jq -e '.requests | all(.outcome == "ok")' >/dev/null ||
+  { echo "FAIL: some recorded request did not succeed" >&2; exit 1; }
+RUNID=$(echo "$DEBUG" | jq -r '.requests[0].id')
+curl -sf "$BASE/debug/requests/$RUNID/trace" | jq -e '.traceEvents | length > 0' >/dev/null ||
+  { echo "FAIL: per-request Chrome trace download is not valid JSON" >&2; exit 1; }
+echo "debug/requests: ok ($NREQ records, trace download ok)"
+
 METRICS=$(curl -sf "$BASE/metrics")
 echo "$METRICS" | grep -q 'warpd_compile_requests_total{result="hit"} 1' ||
   { echo "FAIL: /metrics does not report the compile cache hit" >&2; exit 1; }
