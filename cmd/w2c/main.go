@@ -3,18 +3,27 @@
 //
 // Usage:
 //
-//	w2c [-cell] [-iu] [-noopt] [-pipeline] [-cells n] program.w2
+//	w2c [-cell] [-iu] [-noopt] [-pipeline] [-verify] [-cells n] program.w2
 //
 // Without listing flags it prints the compile report: microcode sizes,
 // minimum skew, proven queue occupancy and IU resource usage.
+//
+// With -verify the static microcode verifier runs as a final compile
+// phase.  A verification failure prints one structured diagnostic per
+// violated invariant (cell, instruction index, invariant name) and
+// exits with status 3, distinguishing "the compiler produced provably
+// wrong microcode" from ordinary compile errors (status 1).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"warp"
+	"warp/internal/verify"
+	"warp/internal/w2"
 )
 
 func main() {
@@ -23,6 +32,7 @@ func main() {
 		showIU   = flag.Bool("iu", false, "print the IU microcode listing")
 		noopt    = flag.Bool("noopt", false, "disable the local optimizer")
 		pipeline = flag.Bool("pipeline", false, "software pipeline innermost loops")
+		doVerify = flag.Bool("verify", false, "statically verify the generated microcode")
 		cells    = flag.Int("cells", 0, "override the array size")
 	)
 	flag.Parse()
@@ -40,8 +50,18 @@ func main() {
 		NoOptimize: *noopt,
 		Pipeline:   *pipeline,
 		Cells:      *cells,
+		Verify:     *doVerify,
 	})
 	if err != nil {
+		var verr *verify.Error
+		if errors.As(err, &verr) {
+			fmt.Fprintf(os.Stderr, "%s: verification failed: %d invariant violation(s)\n",
+				flag.Arg(0), len(verr.Diags))
+			for _, d := range verr.Diags {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -55,6 +75,10 @@ func main() {
 	fmt.Printf("  optimizer: %d transformations; %d loops software pipelined\n",
 		m.OptCount, m.Pipelined)
 	fmt.Printf("  compile time: %v\n", m.CompileTime)
+	if rep := prog.Verified(); rep != nil {
+		fmt.Printf("  verified: %d propositions proven; peak occupancy X=%d Y=%d Adr=%d Sig=%d\n",
+			rep.Checked, rep.Data[w2.ChanX].Max, rep.Data[w2.ChanY].Max, rep.Adr.Max, rep.Sig.Max)
+	}
 	if *showCell {
 		fmt.Println("\ncell microcode:")
 		fmt.Print(prog.CellListing())

@@ -58,6 +58,7 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "compiled programs kept resident (LRU)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-run deadline")
 		maxCycles = flag.Int64("max-cycles", 0, "per-run livelock guard (0 = simulator default, 1<<28)")
+		noVerify  = flag.Bool("no-verify", false, "skip static microcode verification (verified by default; violations return 422)")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight runs")
 		logFormat = flag.String("log", "text", "log format: text or json")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -83,6 +84,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxCycles:      *maxCycles,
+		NoVerify:       *noVerify,
 		Logger:         logger,
 		FlightSize:     *flight,
 	})

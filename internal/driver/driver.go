@@ -9,6 +9,7 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"warp/internal/opt"
 	"warp/internal/sim"
 	"warp/internal/skew"
+	"warp/internal/verify"
 	"warp/internal/w2"
 )
 
@@ -35,6 +37,12 @@ type Options struct {
 	Pipeline bool
 	// Cells overrides the array size declared by the cellprogram.
 	Cells int
+	// Verify runs the static microcode verifier over the compiled
+	// output as a final phase: queue safety, skew coverage, register
+	// hazards and IU stream consistency are proven before the program
+	// is handed out, and a violation fails the compilation with a
+	// *verify.Error carrying structured diagnostics.
+	Verify bool
 	// Recorder receives one Phase event per compiler phase (and is
 	// forwarded to the simulator by RunObserved's callers).  nil
 	// disables emission; Compiled.Phases is recorded either way.
@@ -77,6 +85,10 @@ type Compiled struct {
 	// QueueOcc is the proven per-channel peak queue occupancy.
 	QueueOcc map[w2.Channel]int64
 
+	// Verified is the static verifier's report (nil unless
+	// Options.Verify was set).
+	Verified *verify.Report
+
 	Cells   int
 	W2Lines int
 }
@@ -88,7 +100,11 @@ type Compiled struct {
 // BackoffReason and a "pipeline-backoff" phase entry.
 func Compile(src string, opts Options) (*Compiled, error) {
 	c, err := compile(src, opts)
-	if err != nil && opts.Pipeline {
+	// A verification failure is a verdict on the pipelined schedule
+	// itself, not an IU capacity limit: report it rather than silently
+	// retrying the plain schedule, which would mask the defect.
+	var verr *verify.Error
+	if err != nil && opts.Pipeline && !errors.As(err, &verr) {
 		reason := err.Error()
 		plain := opts
 		plain.Pipeline = false
@@ -233,6 +249,23 @@ func compile(src string, opts Options) (*Compiled, error) {
 		hostWords += len(seq)
 	}
 	c.phase(rec, "hostgen", start, hostWords, "")
+
+	if opts.Verify {
+		start = time.Now()
+		rep, err := verify.Verify(verify.Program{
+			Cells: c.Cells,
+			Cell:  c.Cell,
+			IU:    c.IU,
+			Host:  c.Host,
+			Skew:  c.Skew,
+			Lead:  c.IUGen.Prologue + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Verified = rep
+		c.phase(rec, "verify", start, rep.Checked, fmt.Sprintf("%d propositions proven", rep.Checked))
+	}
 	return c, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"warp/internal/interp"
+	"warp/internal/mcode"
 )
 
 func readTestdata(t *testing.T, name string) string {
@@ -28,13 +29,25 @@ func approxEqual(a, b float64) bool {
 	return diff <= 1e-9*math.Max(scale, 1)
 }
 
-// compareRun compiles src, runs it on the simulator, and checks the
-// outputs against the reference interpreter.
+// compareRun compiles src with the static verifier enabled, runs the
+// structural validators over the generated microcode (whatever the
+// schedule — plain or pipelined), runs it on the simulator, and checks
+// the outputs against the reference interpreter.
 func compareRun(t *testing.T, src string, opts Options, inputs map[string][]float64) *Compiled {
 	t.Helper()
+	opts.Verify = true
 	c, err := Compile(src, opts)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
+	}
+	if c.Verified == nil {
+		t.Fatal("verification phase did not run")
+	}
+	if err := mcode.ValidateCell(c.Cell); err != nil {
+		t.Fatalf("cell program invalid: %v", err)
+	}
+	if err := mcode.ValidateIU(c.IU); err != nil {
+		t.Fatalf("IU program invalid: %v", err)
 	}
 	want, err := interp.Run(c.Info, inputs)
 	if err != nil {

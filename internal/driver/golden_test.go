@@ -18,6 +18,8 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenListings(t *testing.T) {
 	t.Run("polynomial", func(t *testing.T) { goldenFor(t, "polynomial", readTestdata(t, "polynomial.w2")) })
 	t.Run("conv1d", func(t *testing.T) { goldenFor(t, "conv1d", workloads.Conv1D(9, 64)) })
+	t.Run("fft", func(t *testing.T) { goldenFor(t, "fft", workloads.FFT(16)) })
+	t.Run("matmul", func(t *testing.T) { goldenFor(t, "matmul", workloads.Matmul(8)) })
 }
 
 func goldenFor(t *testing.T, name, src string) {

@@ -31,10 +31,17 @@ func TestGeneratedCodeStructure(t *testing.T) {
 		srcs[string(rune('a'+i))+"-random"] = src
 	}
 	for name, src := range srcs {
-		for _, opts := range []Options{{}, {Pipeline: true}} {
+		for _, opts := range []Options{
+			{Verify: true},
+			{NoOptimize: true, Verify: true},
+			{Pipeline: true, Verify: true},
+		} {
 			c, err := Compile(src, opts)
 			if err != nil {
-				t.Fatalf("%s: compile: %v", name, err)
+				t.Fatalf("%s (%+v): compile: %v", name, opts, err)
+			}
+			if c.Verified == nil {
+				t.Fatalf("%s (%+v): no verification report", name, opts)
 			}
 			if err := mcode.ValidateCell(c.Cell); err != nil {
 				t.Errorf("%s: cell program invalid: %v", name, err)
@@ -109,6 +116,39 @@ func TestPipelinedLoopStructure(t *testing.T) {
 	if piped.Cell.Cycles() >= plain.Cell.Cycles() {
 		t.Errorf("pipelining did not shorten the program: %d vs %d",
 			piped.Cell.Cycles(), plain.Cell.Cycles())
+	}
+}
+
+// TestPipelinedOutputsValidated pins a past gap: the validator and
+// verifier sweeps used to cover only plain schedules, so a malformed
+// pipelined schedule could slip through.  For workloads known to
+// pipeline successfully, the Pipeline+Verify build must actually use
+// the overlapped schedule (no silent backoff), pass both structural
+// validators, and carry a verification report.
+func TestPipelinedOutputsValidated(t *testing.T) {
+	for name, src := range map[string]string{
+		"polynomial": workloads.Polynomial(10, 100),
+		"conv1d":     workloads.Conv1D(9, 48),
+	} {
+		c, err := Compile(src, Options{Pipeline: true, Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.PipelineBackoff {
+			t.Fatalf("%s: pipelining backed off: %s", name, c.BackoffReason)
+		}
+		if c.CellGen.PipelinedLoops == 0 {
+			t.Fatalf("%s: no loop was pipelined; this test must exercise the overlapped schedule", name)
+		}
+		if err := mcode.ValidateCell(c.Cell); err != nil {
+			t.Errorf("%s: pipelined cell program invalid: %v", name, err)
+		}
+		if err := mcode.ValidateIU(c.IU); err != nil {
+			t.Errorf("%s: pipelined IU program invalid: %v", name, err)
+		}
+		if c.Verified == nil {
+			t.Errorf("%s: pipelined build has no verification report", name)
+		}
 	}
 }
 

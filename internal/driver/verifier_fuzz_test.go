@@ -1,0 +1,360 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+
+	"warp/internal/mcode"
+	"warp/internal/verify"
+	"warp/internal/workloads"
+)
+
+// This file is the differential soundness harness for the static
+// verifier (internal/verify):
+//
+//   - acceptance must be sound: every program the verifier accepts must
+//     simulate to completion with no queue underflow or overflow (the
+//     simulator errors on both), checked over fuzzed random programs;
+//   - rejection must catch corruption: seeded microcode mutations —
+//     dropping a send, widening a trip count, shrinking the skew,
+//     corrupting a register, truncating the IU address table, renaming
+//     a loop, flipping a loop signal — must each be rejected.
+
+// verifyProgram assembles the verifier's input from a compilation,
+// exactly as the driver's verify phase does.
+func verifyProgram(c *Compiled) verify.Program {
+	return verify.Program{
+		Cells: c.Cells,
+		Cell:  c.Cell,
+		IU:    c.IU,
+		Host:  c.Host,
+		Skew:  c.Skew,
+		Lead:  c.IUGen.Prologue + 1,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Deep copies, so mutations never touch the compiled original.
+
+func copyCellProgram(p *mcode.CellProgram) *mcode.CellProgram {
+	return &mcode.CellProgram{Items: copyCellItems(p.Items)}
+}
+
+func copyCellItems(items []mcode.CodeItem) []mcode.CodeItem {
+	out := make([]mcode.CodeItem, len(items))
+	for i, it := range items {
+		switch it := it.(type) {
+		case *mcode.Straight:
+			instrs := make([]*mcode.Instr, len(it.Instrs))
+			for j, in := range it.Instrs {
+				instrs[j] = copyInstr(in)
+			}
+			out[i] = &mcode.Straight{Instrs: instrs}
+		case *mcode.LoopItem:
+			cp := *it
+			cp.Body = copyCellItems(it.Body)
+			out[i] = &cp
+		}
+	}
+	return out
+}
+
+func copyInstr(in *mcode.Instr) *mcode.Instr {
+	cp := &mcode.Instr{}
+	copyAlu := func(op *mcode.AluOp) *mcode.AluOp {
+		if op == nil {
+			return nil
+		}
+		c := *op
+		return &c
+	}
+	cp.Add, cp.Mul, cp.Mov = copyAlu(in.Add), copyAlu(in.Mul), copyAlu(in.Mov)
+	for i, m := range in.Mem {
+		if m != nil {
+			c := *m
+			cp.Mem[i] = &c
+		}
+	}
+	for _, io := range in.IO {
+		c := *io
+		cp.IO = append(cp.IO, &c)
+	}
+	if in.Lit != nil {
+		c := *in.Lit
+		cp.Lit = &c
+	}
+	return cp
+}
+
+func copyIUProgram(p *mcode.IUProgram) *mcode.IUProgram {
+	cp := &mcode.IUProgram{Table: append([]int64(nil), p.Table...)}
+	cp.Items = copyIUItems(p.Items)
+	return cp
+}
+
+func copyIUItems(items []mcode.IUItem) []mcode.IUItem {
+	out := make([]mcode.IUItem, len(items))
+	for i, it := range items {
+		switch it := it.(type) {
+		case *mcode.IUStraight:
+			instrs := make([]*mcode.IUInstr, len(it.Instrs))
+			for j, in := range it.Instrs {
+				instrs[j] = copyIUInstr(in)
+			}
+			out[i] = &mcode.IUStraight{Instrs: instrs}
+		case *mcode.IULoop:
+			cp := *it
+			cp.Body = copyIUItems(it.Body)
+			out[i] = &cp
+		}
+	}
+	return out
+}
+
+func copyIUInstr(in *mcode.IUInstr) *mcode.IUInstr {
+	cp := &mcode.IUInstr{CtrWork: in.CtrWork}
+	if in.Alu != nil {
+		c := *in.Alu
+		cp.Alu = &c
+	}
+	if in.Imm != nil {
+		c := *in.Imm
+		cp.Imm = &c
+	}
+	for i, o := range in.Out {
+		if o != nil {
+			c := *o
+			cp.Out[i] = &c
+		}
+	}
+	if in.Sig != nil {
+		c := *in.Sig
+		cp.Sig = &c
+	}
+	return cp
+}
+
+// ---------------------------------------------------------------------
+// Seeded mutations.  Each takes a fresh deep-copied program and applies
+// one corruption, returning false when the program has no site for it.
+
+type mutation struct {
+	name  string
+	apply func(p *verify.Program) bool
+}
+
+func firstLoop(items []mcode.CodeItem) *mcode.LoopItem {
+	for _, it := range items {
+		if l, ok := it.(*mcode.LoopItem); ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func eachInstr(items []mcode.CodeItem, f func(*mcode.Instr) bool) bool {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *mcode.Straight:
+			for _, in := range it.Instrs {
+				if f(in) {
+					return true
+				}
+			}
+		case *mcode.LoopItem:
+			if eachInstr(it.Body, f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func eachIUInstr(items []mcode.IUItem, f func(*mcode.IUInstr) bool) bool {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *mcode.IUStraight:
+			for _, in := range it.Instrs {
+				if f(in) {
+					return true
+				}
+			}
+		case *mcode.IULoop:
+			if eachIUInstr(it.Body, f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var mutations = []mutation{
+	{"drop-send", func(p *verify.Program) bool {
+		return eachInstr(p.Cell.Items, func(in *mcode.Instr) bool {
+			for i, io := range in.IO {
+				if !io.Recv {
+					in.IO = append(in.IO[:i], in.IO[i+1:]...)
+					return true
+				}
+			}
+			return false
+		})
+	}},
+	{"widen-trip-count", func(p *verify.Program) bool {
+		if l := firstLoop(p.Cell.Items); l != nil {
+			l.Trips++
+			return true
+		}
+		return false
+	}},
+	{"shrink-skew", func(p *verify.Program) bool {
+		if p.Cells > 1 {
+			p.Skew--
+			return true
+		}
+		return false
+	}},
+	{"corrupt-register", func(p *verify.Program) bool {
+		return eachInstr(p.Cell.Items, func(in *mcode.Instr) bool {
+			if len(in.IO) > 0 {
+				in.IO[0].Reg = mcode.NumRegs + 35
+				return true
+			}
+			return false
+		})
+	}},
+	{"truncate-iu-table", func(p *verify.Program) bool {
+		if n := len(p.IU.Table); n > 0 {
+			p.IU.Table = p.IU.Table[:n-1]
+		} else {
+			p.IU.Table = append(p.IU.Table, 0)
+		}
+		return true
+	}},
+	{"rename-loop", func(p *verify.Program) bool {
+		if l := firstLoop(p.Cell.Items); l != nil {
+			l.ID += 100
+			return true
+		}
+		return false
+	}},
+	{"flip-signal", func(p *verify.Program) bool {
+		return eachIUInstr(p.IU.Items, func(in *mcode.IUInstr) bool {
+			if in.Sig != nil && in.Sig.Static {
+				in.Sig.Continue = !in.Sig.Continue
+				return true
+			}
+			return false
+		})
+	}},
+}
+
+// mutated builds a fresh verifier input with deep-copied programs so a
+// mutation cannot leak into the compiled original (or another mutation).
+func mutated(c *Compiled) *verify.Program {
+	p := verifyProgram(c)
+	p.Cell = copyCellProgram(c.Cell)
+	p.IU = copyIUProgram(c.IU)
+	return &p
+}
+
+// checkVerifierOnProgram runs the full soundness protocol on one
+// compiled program: the verifier must accept it, the simulation must
+// complete (accept ⇒ run clean), and every applicable mutation must be
+// rejected with structured diagnostics.
+func checkVerifierOnProgram(t *testing.T, c *Compiled, src string, inputs map[string][]float64, simulate bool) {
+	t.Helper()
+	if _, err := verify.Verify(verifyProgram(c)); err != nil {
+		t.Fatalf("verifier rejects a compiler-produced program: %v\n%s", err, src)
+	}
+	if simulate {
+		if _, _, err := Run(c, inputs); err != nil {
+			t.Fatalf("verifier accepted but simulation failed: %v\n%s", err, src)
+		}
+	}
+	for _, m := range mutations {
+		p := mutated(c)
+		if !m.apply(p) {
+			continue
+		}
+		_, err := verify.Verify(*p)
+		if err == nil {
+			t.Fatalf("mutation %q not rejected\n%s", m.name, src)
+		}
+		verr, ok := err.(*verify.Error)
+		if !ok || len(verr.Diags) == 0 {
+			t.Fatalf("mutation %q: rejection carries no structured diagnostics: %v", m.name, err)
+		}
+	}
+}
+
+// FuzzVerifierSoundness fuzzes the accept-implies-clean-run half of the
+// verifier's contract and the mutation-rejection half in one harness.
+// Explore with `go test -fuzz=FuzzVerifierSoundness ./internal/driver`.
+func FuzzVerifierSoundness(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		src, inputs := workloads.RandomProgram(rng)
+		for _, opts := range []Options{{}, {NoOptimize: true}, {Pipeline: true}} {
+			c, err := Compile(src, opts)
+			if err != nil {
+				t.Fatalf("compile (%+v): %v\n%s", opts, err, src)
+			}
+			checkVerifierOnProgram(t, c, src, inputs, true)
+		}
+	})
+}
+
+// TestVerifierSoundnessSweep is the deterministic wide sweep behind the
+// fuzz harness: several hundred random programs across all three option
+// sets, each verified and mutation-tested; a sample of them simulated.
+func TestVerifierSoundnessSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const programs = 180
+	for i := 0; i < programs; i++ {
+		src, inputs := workloads.RandomProgram(rng)
+		for j, opts := range []Options{{}, {NoOptimize: true}, {Pipeline: true}} {
+			c, err := Compile(src, opts)
+			if err != nil {
+				t.Fatalf("program %d: compile (%+v): %v\n%s", i, opts, err, src)
+			}
+			// Simulating every (program, option) pair would dominate the
+			// suite's runtime; every fourth pair keeps the differential
+			// signal at a fraction of the cost.
+			simulate := (i*3+j)%4 == 0
+			checkVerifierOnProgram(t, c, src, inputs, simulate)
+		}
+	}
+}
+
+// TestVerifierRejectsMutationsOnWorkloads pins mutation rejection on
+// the real (non-random) workloads, where every mutation site exists.
+func TestVerifierRejectsMutationsOnWorkloads(t *testing.T) {
+	for name, src := range map[string]string{
+		"polynomial": workloads.Polynomial(10, 40),
+		"conv1d":     workloads.Conv1D(9, 48),
+		"matmul":     workloads.Matmul(8),
+	} {
+		c, err := Compile(src, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		applied := 0
+		for _, m := range mutations {
+			p := mutated(c)
+			if !m.apply(p) {
+				continue
+			}
+			applied++
+			if _, err := verify.Verify(*p); err == nil {
+				t.Errorf("%s: mutation %q not rejected", name, m.name)
+			}
+		}
+		if applied < 5 {
+			t.Errorf("%s: only %d mutations applicable; the corpus is too weak", name, applied)
+		}
+	}
+}

@@ -34,7 +34,8 @@ func Key(src string, opts warp.Options) string {
 	// The option encoding is versioned by its shape: any new
 	// codegen-affecting option must be appended here or identical
 	// sources would alias across differing code generation.
-	fmt.Fprintf(h, "\x00noopt=%t\x00pipeline=%t\x00cells=%d", opts.NoOptimize, opts.Pipeline, opts.Cells)
+	fmt.Fprintf(h, "\x00noopt=%t\x00pipeline=%t\x00cells=%d\x00verify=%t",
+		opts.NoOptimize, opts.Pipeline, opts.Cells, opts.Verify)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

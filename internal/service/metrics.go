@@ -77,11 +77,16 @@ func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
 type Metrics struct {
 	mu sync.Mutex
 
-	compiles map[string]int64 // result label -> count (hit|miss|error)
+	compiles map[string]int64 // result label -> count (hit|miss|error|rejected)
 	runs     map[string]int64 // result label -> count (ok|error|timeout|rejected)
 
 	compileLatency *histogram
 	runLatency     *histogram
+
+	// Per-compile-phase accumulated wall-clock time and counts (parse,
+	// cellgen, verify, ...), from the driver's phase records.
+	phaseSeconds map[string]float64
+	phaseCounts  map[string]int64
 
 	// Aggregates over completed runs, from obs.Profile.Summarize.
 	simCycles   int64
@@ -104,17 +109,32 @@ func NewMetrics() *Metrics {
 		runs:           map[string]int64{},
 		compileLatency: newHistogram(),
 		runLatency:     newHistogram(),
+		phaseSeconds:   map[string]float64{},
+		phaseCounts:    map[string]int64{},
 	}
 }
 
-// Compile records one compile request: result is "hit", "miss" or
-// "error"; seconds is the request's service time (0 is fine for hits).
+// Compile records one compile request: result is "hit", "miss",
+// "error" or "rejected" (static verification failed); seconds is the
+// request's service time (0 is fine for hits).
 func (m *Metrics) Compile(result string, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.compiles[result]++
 	if result != "error" {
 		m.compileLatency.observe(seconds)
+	}
+}
+
+// CompilePhases folds one compilation's per-phase timing records into
+// the per-phase aggregates exported at /metrics (one series per phase,
+// including "verify" when the verifier ran).
+func (m *Metrics) CompilePhases(phases []obs.PhaseStat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ph := range phases {
+		m.phaseSeconds[ph.Name] += ph.Seconds
+		m.phaseCounts[ph.Name]++
 	}
 }
 
@@ -164,6 +184,24 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 
 	fmt.Fprintf(w, "# HELP warpd_compile_seconds Compile request service time.\n")
 	m.compileLatency.write(w, "warpd_compile_seconds")
+
+	if len(m.phaseCounts) > 0 {
+		fmt.Fprintf(w, "# HELP warpd_compile_phase_seconds_total Accumulated wall-clock time per compiler phase.\n")
+		fmt.Fprintf(w, "# TYPE warpd_compile_phase_seconds_total counter\n")
+		names := make([]string, 0, len(m.phaseCounts))
+		for name := range m.phaseCounts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "warpd_compile_phase_seconds_total{phase=%q} %s\n", name, formatFloat(m.phaseSeconds[name]))
+		}
+		fmt.Fprintf(w, "# HELP warpd_compile_phase_total Phase executions per compiler phase.\n")
+		fmt.Fprintf(w, "# TYPE warpd_compile_phase_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "warpd_compile_phase_total{phase=%q} %d\n", name, m.phaseCounts[name])
+		}
+	}
 	fmt.Fprintf(w, "# HELP warpd_run_seconds Run request service time.\n")
 	m.runLatency.write(w, "warpd_run_seconds")
 

@@ -15,6 +15,7 @@ import (
 
 	"warp"
 	"warp/internal/obs"
+	"warp/internal/verify"
 )
 
 // Config sizes the service.
@@ -35,6 +36,11 @@ type Config struct {
 	MaxCycles int64
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
+	// NoVerify disables the static microcode verifier.  By default the
+	// service refuses to serve a program it cannot prove safe: every
+	// compilation runs the verifier, and a violation is returned as 422
+	// with one structured diagnostic per violated invariant.
+	NoVerify bool
 	// Compile substitutes the compiler entry point (nil = warp.Compile);
 	// tests use it to instrument driver invocations.
 	Compile CompileFunc
@@ -122,6 +128,14 @@ func (o CompileOptions) warpOptions() warp.Options {
 	return warp.Options{NoOptimize: o.NoOptimize, Pipeline: o.Pipeline, Cells: o.Cells}
 }
 
+// options maps wire options to compiler options under the server's
+// verification policy (verify unless configured off).
+func (s *Server) options(o CompileOptions) warp.Options {
+	opts := o.warpOptions()
+	opts.Verify = !s.cfg.NoVerify
+	return opts
+}
+
 // CompileRequest asks for a compilation.
 type CompileRequest struct {
 	Source  string         `json:"source"`
@@ -193,6 +207,10 @@ type BatchResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Diagnostics carries the static verifier's structured findings
+	// when the error is a verification rejection (one entry per
+	// violated invariant: cell, instruction index, invariant name).
+	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // httpError is an error carrying its HTTP status.
@@ -220,8 +238,18 @@ func errStatus(err error) int {
 		return 499
 	case errors.Is(err, warp.ErrLivelock):
 		return http.StatusUnprocessableEntity
+	case isVerifyError(err):
+		// The source compiled but the microcode failed verification:
+		// the entity is well-formed yet unprocessable as a program.
+		return http.StatusUnprocessableEntity
 	}
 	return http.StatusBadRequest
+}
+
+// isVerifyError reports whether err is a static-verification rejection.
+func isVerifyError(err error) bool {
+	var verr *verify.Error
+	return errors.As(err, &verr)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -237,7 +265,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		// back instead of letting them hammer the admission queue.
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	var verr *verify.Error
+	if errors.As(err, &verr) {
+		resp.Diagnostics = verr.Diags
+	}
+	writeJSON(w, status, resp)
 }
 
 // retryAfterSeconds derives the 429 backoff hint from observed load:
@@ -281,11 +314,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	rc := s.beginRequest("/compile")
 	start := time.Now()
 	cacheSpan := rc.tr.StartSpan("cache", rc.root)
-	prog, key, hit, err := s.cache.GetObserved(r.Context(), req.Source, req.Options.warpOptions(),
+	prog, key, hit, err := s.cache.GetObserved(r.Context(), req.Source, s.options(req.Options),
 		obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
 		cacheSpan.End()
-		s.metrics.Compile("error", 0)
+		if isVerifyError(err) {
+			s.metrics.Compile("rejected", time.Since(start).Seconds())
+		} else {
+			s.metrics.Compile("error", 0)
+		}
 		s.finishRequest(rc, err)
 		s.writeError(w, err)
 		return
@@ -294,6 +331,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	cacheSpan.End()
 	rc.program, rc.cached = key, hit
 	s.metrics.Compile(cacheResult(hit), time.Since(start).Seconds())
+	if !hit {
+		s.metrics.CompilePhases(prog.Phases())
+	}
 	s.finishRequest(rc, nil)
 	resp := CompileResponse{
 		Program: key,
@@ -322,7 +362,7 @@ func (s *Server) resolve(ctx context.Context, req *RunRequest, rec obs.Recorder)
 		}
 		return prog, req.Program, true, nil
 	case req.Source != "":
-		return s.cache.GetObserved(ctx, req.Source, req.Options.warpOptions(), rec)
+		return s.cache.GetObserved(ctx, req.Source, s.options(req.Options), rec)
 	}
 	return nil, "", false, &httpError{http.StatusBadRequest, "missing program or source"}
 }
@@ -350,6 +390,9 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	cacheSpan.Annotate("result", cacheResult(hit))
 	cacheSpan.End()
 	rc.program, rc.cached = key, hit
+	if !hit {
+		s.metrics.CompilePhases(prog.Phases())
+	}
 
 	maxCycles := s.cfg.MaxCycles
 	if req.MaxCycles > 0 {

@@ -1,0 +1,81 @@
+package verify
+
+// queue.go holds the exact (enumerated) occupancy analyses.  Every
+// queue in the machine is push-before-pop within a cycle: the global
+// clock steps the IU, then the host, then the cells left to right, so a
+// word pushed upstream at cycle t is poppable downstream at the same t.
+// The sweeps therefore order pushes before pops at equal times.
+
+// sweepResult is the outcome of one merged push/pop sweep.
+type sweepResult struct {
+	maxOcc int64
+	// underAt is the ordinal of the first pop that would underflow
+	// (-1 when none), with the pop and the matching push times.
+	underAt             int
+	underPop, underPush int64
+	underInstr          int
+	// overAt is the ordinal of the first push exceeding cap (-1 none).
+	overAt    int
+	overPush  int64
+	overInstr int
+}
+
+// sweep merges push events (shifted by pushShift) and pop events
+// (shifted by popShift) in time order, pushes first at ties, tracking
+// occupancy against cap.  Events must be in nondecreasing time order.
+func sweep(pushes, pops []event, pushShift, popShift int64, cap int64) sweepResult {
+	res := sweepResult{underAt: -1, overAt: -1}
+	var occ int64
+	i, j := 0, 0
+	for i < len(pushes) || j < len(pops) {
+		pushNext := j >= len(pops)
+		if !pushNext && i < len(pushes) {
+			pushNext = pushes[i].at+pushShift <= pops[j].at+popShift
+		}
+		if pushNext {
+			occ++
+			if occ > res.maxOcc {
+				res.maxOcc = occ
+			}
+			if occ > cap && res.overAt < 0 {
+				res.overAt = i
+				res.overPush = pushes[i].at + pushShift
+				res.overInstr = pushes[i].instr
+			}
+			i++
+		} else {
+			if occ == 0 && res.underAt < 0 {
+				res.underAt = j
+				res.underPop = pops[j].at + popShift
+				res.underInstr = pops[j].instr
+				if j < len(pushes) {
+					res.underPush = pushes[j].at + pushShift
+				}
+				// Keep sweeping for the peak, but an underflowed queue's
+				// subsequent occupancy is no longer meaningful; stop.
+				return res
+			}
+			occ--
+			j++
+		}
+	}
+	return res
+}
+
+// maxWindow returns the largest number of events falling in any
+// half-open window (t−width, t]: the exact peak occupancy of a queue
+// whose pops replay its pushes width cycles later (the forwarded Adr
+// and Sig streams between cells).  times must be nondecreasing.
+func maxWindow(times []int64, width int64) int64 {
+	var best int64
+	i := 0
+	for j := range times {
+		for times[i] <= times[j]-width {
+			i++
+		}
+		if n := int64(j - i + 1); n > best {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the static microcode verifier (w2c -verify) over every W2
+# program in testdata/ and every example workload program, in both the
+# plain and the software-pipelined configuration.  Any invariant
+# violation makes w2c exit 3, which fails this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dump=$(mktemp -d)
+trap 'rm -rf "$dump"' EXIT
+
+go build -o "$dump/w2c" ./cmd/w2c
+go run ./scripts/dumpw2 -dir "$dump/programs" >/dev/null
+
+status=0
+for f in testdata/*.w2 "$dump"/programs/*.w2; do
+    for flags in "" "-pipeline"; do
+        if out=$("$dump/w2c" -verify $flags "$f" 2>&1); then
+            echo "ok   $f $flags: $(echo "$out" | grep -o 'verified:.*')"
+        else
+            echo "FAIL $f $flags:" >&2
+            echo "$out" >&2
+            status=1
+        fi
+    done
+done
+exit $status

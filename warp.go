@@ -34,6 +34,7 @@ import (
 	"warp/internal/obs"
 	"warp/internal/sim"
 	"warp/internal/skew"
+	"warp/internal/verify"
 	"warp/internal/w2"
 )
 
@@ -50,6 +51,12 @@ type Options struct {
 	Pipeline bool
 	// Cells overrides the array size declared by the cellprogram.
 	Cells int
+	// Verify runs the static microcode verifier as a final compile
+	// phase: queue safety, skew coverage, register hazards and IU
+	// stream consistency are proven from the microcode alone, and a
+	// violation fails Compile with a *verify.Error carrying structured
+	// diagnostics (one per violated invariant).
+	Verify bool
 	// Recorder, when set, receives compile-phase events during Compile
 	// and per-cycle simulator events during Run/RunTraced (see
 	// internal/obs).  Leave nil for the zero-overhead default.
@@ -82,6 +89,7 @@ func Compile(src string, opts Options) (*Program, error) {
 		NoOptimize: opts.NoOptimize,
 		Pipeline:   opts.Pipeline,
 		Cells:      opts.Cells,
+		Verify:     opts.Verify,
 		Recorder:   opts.Recorder,
 	})
 	if err != nil {
@@ -274,6 +282,11 @@ func (p *Program) CellListing() string { return p.c.Cell.Listing() }
 
 // IUListing renders the generated IU microcode.
 func (p *Program) IUListing() string { return p.c.IU.Listing() }
+
+// Verified returns the static verifier's report — the proven peak
+// queue occupancies and the number of propositions discharged — or nil
+// when Options.Verify was not set.
+func (p *Program) Verified() *verify.Report { return p.c.Verified }
 
 // Skew returns the applied inter-cell skew in cycles.
 func (p *Program) Skew() int64 { return p.c.Skew }
