@@ -8,7 +8,7 @@
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
 // table6-4, table6-5, table7-1, throughput, utilization, varskew,
-// all (default).
+// fabric, all (default).
 //
 // With -json, warpbench instead runs the machine-readable benchmark
 // suite (internal/bench) and writes every experiment's cycle counts,
@@ -73,10 +73,11 @@ func main() {
 		"throughput":  throughput,
 		"utilization": utilization,
 		"varskew":     varskew,
+		"fabric":      fabricScaling,
 	}
 	names := []string{"fig3-1", "fig4-2", "fig5-1", "table6-1", "table6-2",
 		"table6-3", "table6-4", "table6-5", "table7-1", "throughput",
-		"utilization", "varskew"}
+		"utilization", "varskew", "fabric"}
 
 	run := func(name string) {
 		fmt.Printf("==================== %s ====================\n", name)
@@ -520,6 +521,46 @@ func utilization() error {
 		}
 		fmt.Printf("--- %s ---\n%s\n", j.name, reports[i])
 	}
+	return nil
+}
+
+// fabricScaling runs the multi-array fabric's scaling experiment: a
+// 40×40×40 matmul tiled over the paper's ten-cell array, farmed across
+// 1, 2 and 4 simulated arrays, plus an oversized convolution.  The
+// modeled speedup (aggregate machine time over the list-scheduled
+// makespan) is deterministic; the wall column depends on host CPUs.
+func fabricScaling() error {
+	a, b := workloads.LargeMatmulData(40, 40, 40, 5)
+	prob := warp.MatmulProblem(40, 40, 40, a, b)
+	prog, err := warp.Compile(workloads.Matmul(10), warp.Options{Pipeline: *pipeline})
+	if err != nil {
+		return err
+	}
+	fmt.Println("matmul 40x40x40 over the 10-cell kernel (64 tiles), by array count:")
+	fmt.Printf("%-8s %8s %14s %14s %10s %12s\n",
+		"arrays", "tiles", "aggregate cyc", "makespan cyc", "speedup", "wall")
+	for _, arrays := range []int{1, 2, 4} {
+		_, fs, err := prog.RunPartitioned(warp.RunConfig{Arrays: arrays}, prob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %8d %14d %14d %9.2fx %12s\n",
+			arrays, fs.Tiles, fs.AggregateCycles, fs.MakespanCycles, fs.Speedup,
+			time.Duration(fs.WallNS).Round(time.Microsecond))
+	}
+	x, w := workloads.LargeConv1DData(2048, 9, 5)
+	cprog, err := warp.Compile(workloads.Conv1D(9, 512), warp.Options{Pipeline: *pipeline})
+	if err != nil {
+		return err
+	}
+	_, fs, err := cprog.RunPartitioned(warp.RunConfig{Arrays: 4}, warp.Conv1DProblem(w, x))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconv1d 2048 points, 9-weight kernel, 512-point windows on 4 arrays:\n")
+	fmt.Printf("%d tiles, aggregate %d cyc, makespan %d cyc, speedup %.2fx, wall %s\n",
+		fs.Tiles, fs.AggregateCycles, fs.MakespanCycles, fs.Speedup,
+		time.Duration(fs.WallNS).Round(time.Microsecond))
 	return nil
 }
 

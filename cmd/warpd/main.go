@@ -58,6 +58,7 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "compiled programs kept resident (LRU)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-run deadline")
 		maxCycles = flag.Int64("max-cycles", 0, "per-run livelock guard (0 = simulator default, 1<<28)")
+		arrays    = flag.Int("arrays", 2, "default fabric width for partitioned run requests")
 		noVerify  = flag.Bool("no-verify", false, "skip static microcode verification (verified by default; violations return 422)")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight runs")
 		logFormat = flag.String("log", "text", "log format: text or json")
@@ -84,6 +85,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxCycles:      *maxCycles,
+		Arrays:         *arrays,
 		NoVerify:       *noVerify,
 		Logger:         logger,
 		FlightSize:     *flight,

@@ -6,10 +6,23 @@
 //	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
 //	        [-check] [-trace out.json] [-stats] [-stats-json out.json]
 //	        [-max-cycles n] program.w2
+//	warpsim -arrays n [-check] [-tile-retries n] [-tile-deadline d]
+//	        [-stats-json out.json] problem.json
 //
 // The program argument is a W2 source file, or the name of a built-in
 // workload (matmul, polynomial, conv1d, binop, fft, colorseg,
 // mandelbrot) for quick experiments.
+//
+// A .json program argument is instead a fabric problem spec — an
+// oversized workload partitioned into array-sized tiles and farmed
+// across -arrays concurrent simulator instances (see examples/fabric):
+//
+//	{"workload": "matmul", "m": 48, "k": 48, "n": 48, "tile": 12, "seed": 7}
+//	{"workload": "conv1d", "nx": 4096, "kernel": 9, "window": 512, "seed": 7}
+//
+// With -check the stitched result is verified element-exact against
+// the reference interpreter evaluating the full, un-partitioned
+// problem.
 //
 // Inputs are read from a JSON object mapping "in" parameter names to
 // number arrays; missing arrays (or all of them, without -inputs) are
@@ -51,12 +64,25 @@ func main() {
 		stats     = flag.Bool("stats", false, "print per-cell utilization/stall table and compile-phase timing")
 		statsJSON = flag.String("stats-json", "", "write the run record as benchmark JSON (warpbench -json schema)")
 		maxCycles = flag.Int64("max-cycles", 0, "abort the simulation after this many cycles (0 = default, 1<<28)")
+		arrays    = flag.Int("arrays", 1, "farm a fabric problem spec across this many simulated arrays")
+		tileRetry = flag.Int("tile-retries", 1, "extra attempts a livelocked tile gets before the job fails")
+		tileDL    = flag.Duration("tile-deadline", 0, "per-tile attempt deadline (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: warpsim [flags] program.w2")
+		fmt.Fprintln(os.Stderr, "usage: warpsim [flags] program.w2 | problem.json")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if spec, err := loadFabricSpec(flag.Arg(0)); err != nil {
+		fail(err)
+	} else if spec != nil {
+		runFabric(spec, fabricFlags{
+			pipeline: *pipeline, arrays: *arrays, retries: *tileRetry,
+			deadline: *tileDL, maxCycles: *maxCycles, seed: *seed,
+			check: *check, statsJSON: *statsJSON,
+		})
+		return
 	}
 	src, err := loadSource(flag.Arg(0))
 	if err != nil {

@@ -56,6 +56,17 @@ type Experiment struct {
 	MulUtil   float64 `json:"mul_util,omitempty"`
 	PeakQueue int     `json:"peak_queue,omitempty"`
 
+	// Fabric (partitioned-run) records.  Tiles, Arrays, AggCycles and
+	// Makespan are deterministic — the tile decomposition and the
+	// modeled list-schedule are pure functions of the plan — so the
+	// gate hard-fails on them like cycle counts.  Speedup is their
+	// ratio (informational; gating the operands gates it).
+	Tiles     int     `json:"tiles,omitempty"`
+	Arrays    int     `json:"arrays,omitempty"`
+	AggCycles int64   `json:"agg_cycles,omitempty"`
+	Makespan  int64   `json:"makespan_cycles,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+
 	Wall *Wall `json:"wall,omitempty"`
 }
 
@@ -81,6 +92,29 @@ func FromRun(name string, m warp.Metrics, rs *warp.RunStats, wall *Wall) Experim
 		AddUtil:   rs.AddUtilization,
 		MulUtil:   rs.MulUtilization,
 		PeakQueue: rs.MaxQueue,
+		Wall:      wall,
+	}
+}
+
+// FromFabric builds a fabric-kind record from the tile kernel's
+// metrics and one partitioned run's fabric statistics.
+func FromFabric(name string, m warp.Metrics, fs *warp.FabricStats, wall *Wall) Experiment {
+	return Experiment{
+		Name:      name,
+		Kind:      "fabric",
+		Cells:     m.Cells,
+		Skew:      m.Skew,
+		W2Lines:   m.W2Lines,
+		CellUcode: m.CellInstrs,
+		IUUcode:   m.IUInstrs,
+		AddUtil:   fs.AddUtil,
+		MulUtil:   fs.MulUtil,
+		PeakQueue: fs.PeakQueue,
+		Tiles:     fs.Tiles,
+		Arrays:    fs.Arrays,
+		AggCycles: fs.AggregateCycles,
+		Makespan:  fs.MakespanCycles,
+		Speedup:   fs.Speedup,
 		Wall:      wall,
 	}
 }
@@ -161,6 +195,36 @@ func runCases() []runCase {
 	}
 }
 
+// fabricCase is one partitioned-run benchmark: an oversized problem
+// farmed across a fixed array count.  The matmul case repeats at 1, 2
+// and 4 arrays — the scaling curve whose modeled speedups the baseline
+// pins.
+type fabricCase struct {
+	name   string
+	arrays int
+	tile   func() string
+	prob   func() warp.Problem
+}
+
+func fabricCases() []fabricCase {
+	mm := func() warp.Problem {
+		a, b := workloads.LargeMatmulData(40, 40, 40, 5)
+		return warp.MatmulProblem(40, 40, 40, a, b)
+	}
+	cv := func() warp.Problem {
+		x, w := workloads.LargeConv1DData(2048, 9, 5)
+		return warp.Conv1DProblem(w, x)
+	}
+	mk := func() string { return workloads.Matmul(10) }
+	ck := func() string { return workloads.Conv1D(9, 512) }
+	return []fabricCase{
+		{"matmul40-arrays1", 1, mk, mm},
+		{"matmul40-arrays2", 2, mk, mm},
+		{"matmul40-arrays4", 4, mk, mm},
+		{"conv2048-arrays4", 4, ck, cv},
+	}
+}
+
 // zeroInputs builds zero-filled input arrays of the declared sizes —
 // inputs never affect timing (the machine is statically scheduled), so
 // zeros keep runs deterministic and cheap.
@@ -236,6 +300,26 @@ func Run(iters int) (*Report, error) {
 		rep.Experiments = append(rep.Experiments,
 			FromRun("run/"+rc.name, prog.Metrics(), rs, wallStats(durs)))
 	}
+
+	for _, fc := range fabricCases() {
+		prog, err := warp.Compile(fc.tile(), warp.Options{Pipeline: true})
+		if err != nil {
+			return nil, fmt.Errorf("fabric/%s: compile: %w", fc.name, err)
+		}
+		prob := fc.prob()
+		var fs *warp.FabricStats
+		durs := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			_, fs, err = prog.RunPartitioned(warp.RunConfig{Arrays: fc.arrays}, prob)
+			durs[i] = time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("fabric/%s: %w", fc.name, err)
+			}
+		}
+		rep.Experiments = append(rep.Experiments,
+			FromFabric("fabric/"+fc.name, prog.Metrics(), fs, wallStats(durs)))
+	}
 	return rep, nil
 }
 
@@ -251,7 +335,8 @@ type Verdict struct {
 func (v *Verdict) OK() bool { return len(v.Regressions) == 0 }
 
 // Compare gates fresh against base.  Deterministic counters (cycles,
-// µcode sizes) changing by more than cycleThreshold (a fraction; 0
+// µcode sizes, fabric tile counts and modeled machine times) changing
+// by more than cycleThreshold (a fraction; 0
 // means any change) in the regression direction fail; any other
 // deterministic change warns so the baseline gets refreshed.  Wall
 // medians drifting up by more than wallThreshold warn.
@@ -280,6 +365,10 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdic
 			{"cell µcode", int64(b.CellUcode), int64(f.CellUcode)},
 			{"IU µcode", int64(b.IUUcode), int64(f.IUUcode)},
 			{"skew", b.Skew, f.Skew},
+			{"tiles", int64(b.Tiles), int64(f.Tiles)},
+			{"arrays", int64(b.Arrays), int64(f.Arrays)},
+			{"aggregate cycles", b.AggCycles, f.AggCycles},
+			{"makespan cycles", b.Makespan, f.Makespan},
 		} {
 			if cnt.old == cnt.new {
 				continue

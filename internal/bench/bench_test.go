@@ -169,8 +169,31 @@ func TestRunPinsBaselines(t *testing.T) {
 			t.Errorf("%s = %d cycles, want the pinned baseline %d", name, got[name], cycles)
 		}
 	}
-	if len(rep.Experiments) != len(compileCases())+len(runCases()) {
+	if len(rep.Experiments) != len(compileCases())+len(runCases())+len(fabricCases()) {
 		t.Errorf("suite ran %d experiments, want %d", len(rep.Experiments),
-			len(compileCases())+len(runCases()))
+			len(compileCases())+len(runCases())+len(fabricCases()))
+	}
+	// The fabric scaling curve: the 4-array farm's modeled speedup over
+	// one array must clear 2× (the acceptance bar), and the tile
+	// decomposition is pinned.
+	fab := map[string]Experiment{}
+	for _, e := range rep.Experiments {
+		if e.Kind == "fabric" {
+			fab[e.Name] = e
+		}
+	}
+	a4 := fab["fabric/matmul40-arrays4"]
+	if a4.Tiles != 64 { // ⌈40/10⌉³
+		t.Errorf("matmul40 decomposed into %d tiles, want 64", a4.Tiles)
+	}
+	if a4.Speedup < 2 {
+		t.Errorf("4-array modeled speedup %.2f, want ≥2", a4.Speedup)
+	}
+	a1 := fab["fabric/matmul40-arrays1"]
+	if a1.AggCycles != a4.AggCycles {
+		t.Errorf("aggregate cycles differ across array counts: %d vs %d", a1.AggCycles, a4.AggCycles)
+	}
+	if a1.Makespan != a1.AggCycles {
+		t.Errorf("1-array makespan %d != aggregate %d", a1.Makespan, a1.AggCycles)
 	}
 }

@@ -1,0 +1,299 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warp/internal/obs"
+	"warp/internal/sim"
+)
+
+// RunTileFunc executes one tile on one simulated array: it receives
+// the tile and its staged input arrays and returns the tile's output
+// array (the kernel's out parameter) plus the run's profile.  The farm
+// calls it from several goroutines at once, one per array.
+type RunTileFunc func(ctx context.Context, t Tile, inputs map[string][]float64) ([]float64, TileStats, error)
+
+// TileStats is one tile run's profile contribution.
+type TileStats struct {
+	Cycles  int64
+	Summary obs.Summary
+}
+
+// Config sizes and paces the farm.
+type Config struct {
+	// Arrays is how many simulator instances run tiles concurrently
+	// (minimum 1).
+	Arrays int
+	// Deadline bounds each tile attempt (0 = none beyond the parent
+	// context).
+	Deadline time.Duration
+	// Retries is how many additional attempts a retryable tile failure
+	// gets before the job fails with a *TileError.
+	Retries int
+	// Retryable classifies errors worth retrying; nil means the
+	// default: simulator livelock and a per-tile deadline hit.
+	Retryable func(error) bool
+}
+
+// TileError is the structured per-tile failure that fails a job: which
+// tile, after how many attempts, wrapping the final underlying error.
+type TileError struct {
+	Tile     int
+	Attempts int
+	Err      error
+}
+
+func (e *TileError) Error() string {
+	return fmt.Sprintf("fabric: tile %d failed after %d attempt(s): %v", e.Tile, e.Attempts, e.Err)
+}
+
+func (e *TileError) Unwrap() error { return e.Err }
+
+// Stats is the fabric-level aggregation of a job's per-tile profiles.
+type Stats struct {
+	Arrays     int
+	Tiles      int // planned tiles
+	Dispatched int // tile attempts started (retries included)
+	Retried    int // attempts beyond each tile's first
+	Failed     int // tiles that exhausted their attempts
+
+	// AggregateCycles is the summed machine time of every completed
+	// tile — what one array would spend running the job serially.
+	AggregateCycles int64
+	// MakespanCycles is the modeled machine time of the N-array job:
+	// the per-tile cycle counts list-scheduled onto Arrays arrays in
+	// plan order.  Both counts are exact outputs of the deterministic
+	// simulator, so Speedup = Aggregate/Makespan is a deterministic,
+	// host-independent scaling measure (wall clock, recorded below,
+	// additionally depends on how many host CPUs back the goroutines).
+	MakespanCycles int64
+	// Speedup is AggregateCycles/MakespanCycles — the modeled
+	// machine-time speedup of this farm over a single array.
+	Speedup float64
+
+	// StagedWords counts host words sliced into tile input buffers —
+	// the double-buffered host I/O traffic.
+	StagedWords int64
+
+	// Profile aggregates over completed tiles (utilizations are
+	// cycle-weighted).
+	PeakQueue   int
+	PeakQueueAt string
+	AddUtil     float64
+	MulUtil     float64
+
+	// WallNS is the job's host wall-clock time.
+	WallNS int64
+}
+
+// stagedTile is one unit of queued work: a tile plus its pre-sliced
+// inputs.
+type stagedTile struct {
+	tile   Tile
+	inputs map[string][]float64
+}
+
+// tileResult is what a worker reports back for one tile.
+type tileResult struct {
+	id      int
+	out     []float64
+	stats   TileStats
+	retried int
+	err     error
+}
+
+// defaultRetryable retries simulator livelock and per-tile deadline
+// hits — the failure modes a fresh attempt (or a less loaded host) can
+// clear — and nothing else.
+func defaultRetryable(err error) bool {
+	return errors.Is(err, sim.ErrLivelock) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run executes the plan on the farm: tiles are staged one slice ahead
+// per array (double-buffered host I/O), dispatched to Arrays worker
+// goroutines, and stitched in plan order once every tile has
+// completed.  The first tile to exhaust its attempts cancels the rest
+// and fails the job with its *TileError; the farm always drains its
+// workers before returning, so a failed job never leaks goroutines.
+func Run(ctx context.Context, pl *Plan, cfg Config, run RunTileFunc) ([]float64, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Arrays < 1 {
+		cfg.Arrays = 1
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Retryable == nil {
+		cfg.Retryable = defaultRetryable
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Stage tiles ahead of the workers: the channel buffer holds one
+	// pre-sliced tile per array, so while array i simulates tile t its
+	// next tile's input is already in host memory.
+	staged := make(chan stagedTile, cfg.Arrays)
+	var stagedWords atomic.Int64
+	go func() {
+		defer close(staged)
+		for _, t := range pl.Tiles {
+			st := stagedTile{tile: t, inputs: pl.Inputs(t)}
+			stagedWords.Add(int64(pl.TileIn))
+			select {
+			case staged <- st:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	results := make(chan tileResult, cfg.Arrays)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Arrays; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range staged {
+				if ctx.Err() != nil {
+					// The job is already failing or cancelled: drain the
+					// queue without simulating so the stager can finish.
+					continue
+				}
+				results <- runTile(ctx, st, cfg, run)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stats := &Stats{Arrays: cfg.Arrays, Tiles: len(pl.Tiles)}
+	tileOut := make([][]float64, len(pl.Tiles))
+	cycles := make([]int64, 0, len(pl.Tiles))
+	var jobErr error
+	var cycleSum float64 // utilization weights
+	for r := range results {
+		stats.Dispatched += 1 + r.retried
+		stats.Retried += r.retried
+		if r.err != nil {
+			stats.Failed++
+			// Keep the most informative failure: a tile's own error
+			// beats the cascade of context-cancelled siblings.
+			var te *TileError
+			if jobErr == nil || (errors.As(r.err, &te) && !isTileError(jobErr)) {
+				jobErr = r.err
+			}
+			cancel()
+			continue
+		}
+		tileOut[r.id] = r.out
+		cycles = append(cycles, r.stats.Cycles)
+		stats.AggregateCycles += r.stats.Cycles
+		w := float64(r.stats.Cycles)
+		stats.AddUtil += w * r.stats.Summary.AddUtil
+		stats.MulUtil += w * r.stats.Summary.MulUtil
+		cycleSum += w
+		if r.stats.Summary.PeakQueue > stats.PeakQueue {
+			stats.PeakQueue = r.stats.Summary.PeakQueue
+			stats.PeakQueueAt = r.stats.Summary.PeakQueueAt
+		}
+	}
+	stats.StagedWords = stagedWords.Load()
+	if cycleSum > 0 {
+		stats.AddUtil /= cycleSum
+		stats.MulUtil /= cycleSum
+	}
+	stats.MakespanCycles = modelMakespan(cycles, cfg.Arrays)
+	if stats.MakespanCycles > 0 {
+		stats.Speedup = float64(stats.AggregateCycles) / float64(stats.MakespanCycles)
+	}
+	stats.WallNS = int64(time.Since(start))
+	if jobErr != nil {
+		return nil, stats, jobErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	out, err := pl.Assemble(tileOut)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// runTile runs one staged tile with the per-attempt deadline and the
+// bounded retry policy.
+func runTile(ctx context.Context, st stagedTile, cfg Config, run RunTileFunc) tileResult {
+	res := tileResult{id: st.tile.ID}
+	attempts := 1 + cfg.Retries
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			res.retried++
+		}
+		actx, acancel := ctx, context.CancelFunc(func() {})
+		if cfg.Deadline > 0 {
+			actx, acancel = context.WithTimeout(ctx, cfg.Deadline)
+		}
+		out, ts, err := run(actx, st.tile, st.inputs)
+		acancel()
+		if err == nil {
+			res.out, res.stats = out, ts
+			return res
+		}
+		// If the whole job is being torn down, report the parent
+		// cancellation rather than blaming this tile.
+		if ctx.Err() != nil {
+			res.err = ctx.Err()
+			return res
+		}
+		if a < attempts && cfg.Retryable(err) {
+			continue
+		}
+		res.err = &TileError{Tile: st.tile.ID, Attempts: a, Err: err}
+		return res
+	}
+	return res // unreachable: the loop always returns
+}
+
+func isTileError(err error) bool {
+	var te *TileError
+	return errors.As(err, &te)
+}
+
+// modelMakespan list-schedules the completed tiles' cycle counts onto
+// n arrays — each tile goes to the least-loaded array, ties to the
+// lowest index — and returns the resulting makespan.  The schedule
+// (and so the makespan) is a deterministic function of the plan,
+// unlike the racy goroutine assignment of the real dispatch, which
+// makes it safe to pin in benchmark baselines.
+func modelMakespan(cycles []int64, n int) int64 {
+	if n < 1 {
+		n = 1
+	}
+	load := make([]int64, n)
+	for _, c := range cycles {
+		best := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		load[best] += c
+	}
+	var max int64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,287 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warp/internal/sim"
+	"warp/internal/workloads"
+)
+
+// stressPlan builds a plan with many more tiles than arrays.
+func stressPlan(t *testing.T, m, k, n, tile int) *Plan {
+	t.Helper()
+	a, b := workloads.LargeMatmulData(m, k, n, 9)
+	pl, err := PlanMatmul(Matmul{M: m, K: k, N: n, A: a, B: b}, mmProg(tile), DefaultLimits(tile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestFarmStress drives many tiles through few arrays with the race
+// detector's eyes on the shared state: the staging channel, the stats
+// aggregation, and the output buffer.
+func TestFarmStress(t *testing.T) {
+	pl := stressPlan(t, 24, 24, 24, 2) // 12³ = 1728 tiles
+	var inFlight, peak atomic.Int64
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return fakeMatmulRun(100)(ctx, tl, in)
+	}
+	out, stats, err := Run(context.Background(), pl, Config{Arrays: 3}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.MatmulRectRef(pl.mm.A, pl.mm.B, 24, 24, 24)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if stats.Dispatched != 1728 || stats.Retried != 0 || stats.Failed != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("%d tiles ran concurrently on a 3-array farm", p)
+	}
+	if stats.MakespanCycles != 1728/3*100 {
+		t.Fatalf("makespan %d", stats.MakespanCycles)
+	}
+}
+
+// TestFarmLivelockRetryThenSucceed injects a livelock that clears
+// after two attempts: the farm must retry within the bound and finish
+// the job cleanly.
+func TestFarmLivelockRetryThenSucceed(t *testing.T) {
+	pl := stressPlan(t, 8, 8, 8, 4)
+	const victim = 5
+	var mu sync.Mutex
+	failures := 2
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		if tl.ID == victim {
+			mu.Lock()
+			retry := failures > 0
+			if retry {
+				failures--
+			}
+			mu.Unlock()
+			if retry {
+				return nil, TileStats{}, sim.ErrLivelock
+			}
+		}
+		return fakeMatmulRun(100)(ctx, tl, in)
+	}
+	out, stats, err := Run(context.Background(), pl, Config{Arrays: 2, Retries: 2}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.MatmulRectRef(pl.mm.A, pl.mm.B, 8, 8, 8)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if stats.Retried != 2 || stats.Failed != 0 {
+		t.Fatalf("retried %d failed %d, want 2 retries and no failures", stats.Retried, stats.Failed)
+	}
+	if stats.Dispatched != len(pl.Tiles)+2 {
+		t.Fatalf("dispatched %d, want %d", stats.Dispatched, len(pl.Tiles)+2)
+	}
+}
+
+// TestFarmLivelockRetryThenFail injects a persistent livelock: the
+// farm must exhaust the bounded attempts, fail the job with a typed
+// per-tile error naming the tile and attempt count, and return without
+// hanging.
+func TestFarmLivelockRetryThenFail(t *testing.T) {
+	pl := stressPlan(t, 8, 8, 8, 4)
+	const victim = 3
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		if tl.ID == victim {
+			return nil, TileStats{}, sim.ErrLivelock
+		}
+		return fakeMatmulRun(100)(ctx, tl, in)
+	}
+	done := make(chan struct{})
+	var out []float64
+	var stats *Stats
+	var err error
+	go func() {
+		defer close(done)
+		out, stats, err = Run(context.Background(), pl, Config{Arrays: 2, Retries: 2}, run)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm hung on a persistently livelocked tile")
+	}
+	if out != nil {
+		t.Fatal("failed job returned an output")
+	}
+	var te *TileError
+	if !errors.As(err, &te) {
+		t.Fatalf("job error %v (%T), want *TileError", err, err)
+	}
+	if te.Tile != victim || te.Attempts != 3 {
+		t.Fatalf("TileError{Tile: %d, Attempts: %d}, want tile %d after 3 attempts", te.Tile, te.Attempts, victim)
+	}
+	if !errors.Is(err, sim.ErrLivelock) {
+		t.Fatalf("TileError does not unwrap to sim.ErrLivelock: %v", err)
+	}
+	if stats.Failed < 1 || stats.Retried < 2 {
+		t.Fatalf("stats %+v: want the victim's 2 retries and its failure recorded", stats)
+	}
+}
+
+// TestFarmNonRetryableFailsFast: an error outside the retry policy
+// must fail the tile on the first attempt.
+func TestFarmNonRetryableFailsFast(t *testing.T) {
+	pl := stressPlan(t, 8, 8, 8, 4)
+	boom := errors.New("cell 3 microcode fault")
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		if tl.ID == 0 {
+			return nil, TileStats{}, boom
+		}
+		return fakeMatmulRun(100)(ctx, tl, in)
+	}
+	_, stats, err := Run(context.Background(), pl, Config{Arrays: 2, Retries: 5}, run)
+	var te *TileError
+	if !errors.As(err, &te) || te.Attempts != 1 || !errors.Is(err, boom) {
+		t.Fatalf("err %v, want tile 0's first-attempt TileError wrapping the fault", err)
+	}
+	if stats.Retried != 0 {
+		t.Fatalf("non-retryable error was retried %d times", stats.Retried)
+	}
+}
+
+// TestFarmDeadline: a tile that outlives its per-attempt deadline is
+// retried (deadline hits are retryable by default) and then fails as a
+// TileError wrapping context.DeadlineExceeded.
+func TestFarmDeadline(t *testing.T) {
+	pl := stressPlan(t, 4, 4, 4, 2)
+	const victim = 2
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		if tl.ID == victim {
+			select {
+			case <-ctx.Done():
+				return nil, TileStats{}, ctx.Err()
+			case <-time.After(10 * time.Second):
+				t.Error("tile attempt was never cancelled")
+				return nil, TileStats{}, errors.New("unreachable")
+			}
+		}
+		return fakeMatmulRun(100)(ctx, tl, in)
+	}
+	_, stats, err := Run(context.Background(), pl, Config{Arrays: 2, Deadline: 20 * time.Millisecond, Retries: 1}, run)
+	var te *TileError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %v (%T), want *TileError", err, err)
+	}
+	if te.Tile != victim || te.Attempts != 2 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TileError %+v (%v), want tile %d failing its deadline twice", te, err, victim)
+	}
+	if stats.Retried != 1 {
+		t.Fatalf("retried %d, want 1", stats.Retried)
+	}
+}
+
+// TestFarmParentCancel: cancelling the job context mid-run surfaces
+// the cancellation (not a TileError) and the farm still drains.
+func TestFarmParentCancel(t *testing.T) {
+	pl := stressPlan(t, 16, 16, 16, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	run := func(c context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		select {
+		case <-c.Done():
+			return nil, TileStats{}, c.Err()
+		default:
+		}
+		return fakeMatmulRun(100)(c, tl, in)
+	}
+	out, _, err := Run(ctx, pl, Config{Arrays: 2}, run)
+	if out != nil {
+		t.Fatal("cancelled job returned an output")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if isTileError(err) {
+		t.Fatalf("parent cancellation was blamed on a tile: %v", err)
+	}
+}
+
+// TestStitchOrderIndependence is the tile-stitch property test: the
+// same plan run under three different completion-order schedules (per
+// tile jitter keyed off a run seed) must produce bit-identical output.
+func TestStitchOrderIndependence(t *testing.T) {
+	pl := stressPlan(t, 12, 12, 12, 3) // 64 tiles
+	want := workloads.MatmulRectRef(pl.mm.A, pl.mm.B, 12, 12, 12)
+	var first []float64
+	for seed := 0; seed < 3; seed++ {
+		run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+			// Deterministic per-(seed, tile) jitter permutes which array
+			// finishes which tile first across the three runs.
+			d := time.Duration((tl.ID*7+seed*13)%5) * time.Millisecond
+			select {
+			case <-ctx.Done():
+				return nil, TileStats{}, ctx.Err()
+			case <-time.After(d):
+			}
+			return fakeMatmulRun(100)(ctx, tl, in)
+		}
+		out, _, err := Run(context.Background(), pl, Config{Arrays: 4}, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("seed %d: c[%d] = %v, want %v", seed, i, out[i], want[i])
+			}
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		for i := range first {
+			if out[i] != first[i] {
+				t.Fatalf("seed %d: c[%d] = %v differs from first run's %v", seed, i, out[i], first[i])
+			}
+		}
+	}
+}
+
+// TestModelMakespan pins the deterministic list-scheduler.
+func TestModelMakespan(t *testing.T) {
+	cases := []struct {
+		cycles []int64
+		n      int
+		want   int64
+	}{
+		{nil, 4, 0},
+		{[]int64{10, 10, 10, 10}, 2, 20},
+		{[]int64{10, 10, 10}, 4, 10},
+		{[]int64{5, 5, 5, 9}, 2, 14}, // 5+5 vs 5+9 → greedy puts 9 on the lighter array
+		{[]int64{7}, 0, 7},           // n clamps to 1
+	}
+	for _, c := range cases {
+		if got := modelMakespan(c.cycles, c.n); got != c.want {
+			t.Fatalf("modelMakespan(%v, %d) = %d, want %d", c.cycles, c.n, got, c.want)
+		}
+	}
+}

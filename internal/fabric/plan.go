@@ -1,0 +1,256 @@
+package fabric
+
+import "fmt"
+
+// Tile is one array-sized unit of work.  For matmul it is an
+// output-block/k-block triple; for conv1d an output range plus the
+// haloed input window that produces it.
+type Tile struct {
+	ID int
+
+	// Matmul block coordinates: rows MI·T.., columns NJ·T.., reduction
+	// block KB·T.. of the tile side T.
+	MI, NJ, KB int
+
+	// Conv1D ranges: this tile produces outputs [Lo, Hi) from inputs
+	// [InLo, InLo+Window) — the window overlaps the next tile's by
+	// kernel−1 points (the halo).
+	Lo, Hi, InLo int
+}
+
+// Plan is a tile decomposition: the tile list in dispatch order, the
+// per-tile input slicing, and the stitch that reassembles the full
+// output.  Tiles are ordered so that matmul reduction blocks for one
+// output block are consecutive and ascending — Assemble accumulates in
+// exactly this order no matter when each tile completed, which is what
+// makes the stitched result deterministic.
+type Plan struct {
+	Kind  string // "matmul" or "conv1d"
+	Tiles []Tile
+
+	// Matmul geometry: problem M×K×N over tile side T (= array cells).
+	M, K, N, T int
+
+	// Conv1D geometry: NX signal points, KW kernel weights (= array
+	// cells), Window input points per tile, Valid outputs per tile.
+	NX, KW, Window, Valid int
+
+	// OutLen is the stitched output length: M·N for matmul,
+	// NX−KW+1 for conv1d.
+	OutLen int
+	// TileIn and TileOut are the host words staged into and produced
+	// by each tile — the per-tile host I/O traffic.
+	TileIn, TileOut int
+
+	// Parameter names of the tile kernel, for keying staged inputs.
+	in0, in1 string // matmul: A-operand, B-operand; conv1d: signal, kernel
+	outName  string
+
+	mm Matmul
+	cv Conv1D
+}
+
+// OutName is the tile kernel's output parameter name; the fabric's
+// assembled result is keyed by it, mirroring a plain Run.
+func (pl *Plan) OutName() string { return pl.outName }
+
+// ceilDiv is ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// PlanMatmul tiles C = A×B into T×T output blocks with a T-deep
+// reduction (k) dimension, T being the tile kernel's array size: tile
+// (mi, nj, kb) multiplies the (mi, kb) block of A by the (kb, nj)
+// block of B, and Assemble accumulates the kb partials of each output
+// block in ascending order.  Edge blocks are zero-padded to the full
+// tile shape; padding contributes exact zeros and the padded output
+// rows and columns are discarded by the stitch.
+//
+// prog must be matmul-shaped: two input parameters of T² words and one
+// output of T² words on T cells.  The plan is validated against lim:
+// the kernel keeps one T-word row of B per cell, which must fit the
+// cell memory budget.
+func PlanMatmul(p Matmul, prog TileProgram, lim Limits) (*Plan, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := lim.validate(); err != nil {
+		return nil, err
+	}
+	T := prog.Cells
+	if T < 2 {
+		return nil, fmt.Errorf("fabric: matmul tile kernel on %d cells; need at least 2", T)
+	}
+	if T != lim.Cells {
+		return nil, fmt.Errorf("fabric: tile kernel compiled for %d cells, array has %d", T, lim.Cells)
+	}
+	if len(prog.In) != 2 || prog.In[0].Size != T*T || prog.In[1].Size != T*T || prog.Out.Size != T*T {
+		return nil, fmt.Errorf("fabric: kernel is not matmul-shaped: want in %d×%d words and out %d words on %d cells",
+			T*T, T*T, T*T, T)
+	}
+	// Each cell holds one T-word row of the B block in its data
+	// memory.
+	if T > lim.CellMemWords {
+		return nil, fmt.Errorf("fabric: tile side %d exceeds the %d-word cell memory budget", T, lim.CellMemWords)
+	}
+	pl := &Plan{
+		Kind: "matmul",
+		M:    p.M, K: p.K, N: p.N, T: T,
+		OutLen:  p.M * p.N,
+		TileIn:  2 * T * T,
+		TileOut: T * T,
+		in0:     prog.In[0].Name,
+		in1:     prog.In[1].Name,
+		outName: prog.Out.Name,
+		mm:      p,
+	}
+	mb, nb, kb := ceilDiv(p.M, T), ceilDiv(p.N, T), ceilDiv(p.K, T)
+	for mi := 0; mi < mb; mi++ {
+		for nj := 0; nj < nb; nj++ {
+			for kk := 0; kk < kb; kk++ {
+				pl.Tiles = append(pl.Tiles, Tile{ID: len(pl.Tiles), MI: mi, NJ: nj, KB: kk})
+			}
+		}
+	}
+	return pl, nil
+}
+
+// PlanConv1D tiles the convolution into windows of the tile kernel's
+// input size: each tile convolves Window consecutive signal points
+// (zero-padded past the end) and contributes Window−KW+1 valid
+// outputs, with consecutive windows overlapping by KW−1 points — the
+// halo a valid convolution needs at every tile boundary.  Every output
+// element is computed whole inside one tile (the same
+// kernel-ascending accumulation order as the un-partitioned program),
+// so the stitch is a plain copy and the partitioned result is
+// element-exact for arbitrary inputs.
+//
+// prog must be conv1d-shaped: a KW-word kernel parameter (KW = the
+// array's cell count, one weight per cell), a Window-word signal
+// parameter, and a Window−1-word output.
+func PlanConv1D(p Conv1D, prog TileProgram, lim Limits) (*Plan, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := lim.validate(); err != nil {
+		return nil, err
+	}
+	kw := len(p.Kernel)
+	if kw != prog.Cells {
+		return nil, fmt.Errorf("fabric: %d-weight kernel on a tile kernel compiled for %d cells (one weight per cell)",
+			kw, prog.Cells)
+	}
+	if prog.Cells != lim.Cells {
+		return nil, fmt.Errorf("fabric: tile kernel compiled for %d cells, array has %d", prog.Cells, lim.Cells)
+	}
+	if len(prog.In) != 2 {
+		return nil, fmt.Errorf("fabric: kernel is not conv1d-shaped: want a signal and a kernel input, got %d parameters", len(prog.In))
+	}
+	// The kernel parameter is the one sized to the array; the other is
+	// the signal window.
+	sig, ker := prog.In[0], prog.In[1]
+	if sig.Size == kw && ker.Size != kw {
+		sig, ker = ker, sig
+	}
+	if ker.Size != kw || sig.Size <= kw {
+		return nil, fmt.Errorf("fabric: kernel is not conv1d-shaped: want a %d-word kernel parameter and a longer signal window, got %d and %d words",
+			kw, prog.In[0].Size, prog.In[1].Size)
+	}
+	window := sig.Size
+	if prog.Out.Size != window-1 {
+		return nil, fmt.Errorf("fabric: conv1d kernel output is %d words, want %d (window−1)", prog.Out.Size, window-1)
+	}
+	valid := window - kw + 1
+	total := len(p.X) - kw + 1
+	pl := &Plan{
+		Kind: "conv1d",
+		NX:   len(p.X), KW: kw, Window: window, Valid: valid,
+		OutLen:  total,
+		TileIn:  window + kw,
+		TileOut: window - 1,
+		in0:     sig.Name,
+		in1:     ker.Name,
+		outName: prog.Out.Name,
+		cv:      p,
+	}
+	for lo := 0; lo < total; lo += valid {
+		hi := lo + valid
+		if hi > total {
+			hi = total
+		}
+		pl.Tiles = append(pl.Tiles, Tile{ID: len(pl.Tiles), Lo: lo, Hi: hi, InLo: lo})
+	}
+	return pl, nil
+}
+
+// Inputs slices (and zero-pads) one tile's input arrays from the
+// problem operands, keyed by the tile kernel's parameter names.  This
+// is the host-side staging step the farm overlaps with simulation.
+func (pl *Plan) Inputs(t Tile) map[string][]float64 {
+	switch pl.Kind {
+	case "matmul":
+		T := pl.T
+		a := make([]float64, T*T)
+		b := make([]float64, T*T)
+		rows := minInt(pl.M-t.MI*T, T)
+		cols := minInt(pl.N-t.NJ*T, T)
+		deep := minInt(pl.K-t.KB*T, T)
+		for r := 0; r < rows; r++ {
+			src := (t.MI*T+r)*pl.K + t.KB*T
+			copy(a[r*T:r*T+deep], pl.mm.A[src:src+deep])
+		}
+		for r := 0; r < deep; r++ {
+			src := (t.KB*T+r)*pl.N + t.NJ*T
+			copy(b[r*T:r*T+cols], pl.mm.B[src:src+cols])
+		}
+		return map[string][]float64{pl.in0: a, pl.in1: b}
+	case "conv1d":
+		x := make([]float64, pl.Window)
+		end := minInt(len(pl.cv.X), t.InLo+pl.Window)
+		copy(x, pl.cv.X[t.InLo:end])
+		return map[string][]float64{pl.in0: x, pl.in1: pl.cv.Kernel}
+	}
+	panic("fabric: unknown plan kind " + pl.Kind)
+}
+
+// Assemble stitches the per-tile outputs (indexed by tile ID) into the
+// full result.  The reduction is performed in plan order — matmul
+// k-block partials accumulate in ascending KB for every output block —
+// so the assembled result is a pure function of the tile outputs,
+// independent of the order the farm completed them in.
+func (pl *Plan) Assemble(tileOut [][]float64) ([]float64, error) {
+	if len(tileOut) != len(pl.Tiles) {
+		return nil, fmt.Errorf("fabric: %d tile outputs for %d tiles", len(tileOut), len(pl.Tiles))
+	}
+	out := make([]float64, pl.OutLen)
+	for _, t := range pl.Tiles {
+		got := tileOut[t.ID]
+		if got == nil {
+			return nil, fmt.Errorf("fabric: tile %d produced no output", t.ID)
+		}
+		if len(got) != pl.TileOut {
+			return nil, fmt.Errorf("fabric: tile %d produced %d words, want %d", t.ID, len(got), pl.TileOut)
+		}
+		switch pl.Kind {
+		case "matmul":
+			T := pl.T
+			rows := minInt(pl.M-t.MI*T, T)
+			cols := minInt(pl.N-t.NJ*T, T)
+			for r := 0; r < rows; r++ {
+				dst := (t.MI*T+r)*pl.N + t.NJ*T
+				for c := 0; c < cols; c++ {
+					out[dst+c] += got[r*T+c]
+				}
+			}
+		case "conv1d":
+			copy(out[t.Lo:t.Hi], got[:t.Hi-t.Lo])
+		}
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

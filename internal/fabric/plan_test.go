@@ -1,0 +1,266 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+
+	"warp/internal/workloads"
+)
+
+// mmProg is the shape of workloads.Matmul(T) as the planner sees it.
+func mmProg(t int) TileProgram {
+	return TileProgram{
+		Cells: t,
+		In:    []Param{{"a", t * t}, {"bmat", t * t}},
+		Out:   Param{"c", t * t},
+	}
+}
+
+// cvProg is the shape of workloads.Conv1D(k, w).
+func cvProg(k, w int) TileProgram {
+	return TileProgram{
+		Cells: k,
+		In:    []Param{{"x", w}, {"w", k}},
+		Out:   Param{"results", w - 1},
+	}
+}
+
+// fakeMatmulRun computes a tile product directly (no simulator): the
+// farm and stitch logic can be exercised at full speed and under the
+// race detector.
+func fakeMatmulRun(tileCycles int64) RunTileFunc {
+	return func(ctx context.Context, t Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		a, b := in["a"], in["bmat"]
+		n := 0
+		for n*n < len(a) {
+			n++
+		}
+		out := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for l := 0; l < n; l++ {
+					s += a[i*n+l] * b[l*n+j]
+				}
+				out[i*n+j] = s
+			}
+		}
+		return out, TileStats{Cycles: tileCycles}, nil
+	}
+}
+
+// fakeConvRun emulates what the compiled Conv1D kernel emits: window−1
+// outputs whose valid prefix is the convolution and whose tail is
+// boundary junk the stitch must discard.
+func fakeConvRun(tileCycles int64) RunTileFunc {
+	return func(ctx context.Context, t Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		x, w := in["x"], in["w"]
+		out := make([]float64, len(x)-1)
+		for i := range out {
+			if i <= len(x)-len(w) {
+				var s float64
+				for j, wv := range w {
+					s += wv * x[i+j]
+				}
+				out[i] = s
+			} else {
+				out[i] = 999999 // boundary junk: must never reach the stitched result
+			}
+		}
+		return out, TileStats{Cycles: tileCycles}, nil
+	}
+}
+
+func TestPlanMatmulGeometry(t *testing.T) {
+	const m, k, n, tile = 10, 7, 5, 3
+	a, b := workloads.LargeMatmulData(m, k, n, 1)
+	pl, err := PlanMatmul(Matmul{M: m, K: k, N: n, A: a, B: b}, mmProg(tile), DefaultLimits(tile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⌈10/3⌉·⌈5/3⌉·⌈7/3⌉ = 4·2·3 blocks.
+	if got, want := len(pl.Tiles), 24; got != want {
+		t.Fatalf("%d tiles, want %d", got, want)
+	}
+	// k-blocks are innermost and ascending, so Assemble accumulates
+	// each output block's partials in reduction order.
+	for i, tl := range pl.Tiles {
+		if tl.ID != i {
+			t.Fatalf("tile %d has ID %d", i, tl.ID)
+		}
+		if i > 0 {
+			prev := pl.Tiles[i-1]
+			if prev.MI == tl.MI && prev.NJ == tl.NJ && tl.KB != prev.KB+1 {
+				t.Fatalf("tile %d: k-block %d follows %d within block (%d,%d)", i, tl.KB, prev.KB, tl.MI, tl.NJ)
+			}
+		}
+	}
+	if pl.TileIn != 2*tile*tile || pl.TileOut != tile*tile {
+		t.Fatalf("tile I/O %d/%d words, want %d/%d", pl.TileIn, pl.TileOut, 2*tile*tile, tile*tile)
+	}
+	if pl.OutLen != m*n {
+		t.Fatalf("OutLen %d, want %d", pl.OutLen, m*n)
+	}
+}
+
+func TestPlanMatmulRejectsOverBudget(t *testing.T) {
+	const tile = 4
+	a, b := workloads.LargeMatmulData(8, 8, 8, 1)
+	lim := DefaultLimits(tile)
+	lim.CellMemWords = tile - 1 // a B row no longer fits the cell
+	_, err := PlanMatmul(Matmul{M: 8, K: 8, N: 8, A: a, B: b}, mmProg(tile), lim)
+	if err == nil {
+		t.Fatal("planner accepted a tile side past the cell-memory budget")
+	}
+}
+
+func TestPlanMatmulRejectsWrongShape(t *testing.T) {
+	a, b := workloads.LargeMatmulData(8, 8, 8, 1)
+	p := Matmul{M: 8, K: 8, N: 8, A: a, B: b}
+	bad := mmProg(4)
+	bad.In[1].Size = 15 // not T²
+	if _, err := PlanMatmul(p, bad, DefaultLimits(4)); err == nil {
+		t.Fatal("planner accepted a non-matmul-shaped kernel")
+	}
+	if _, err := PlanMatmul(p, mmProg(4), DefaultLimits(5)); err == nil {
+		t.Fatal("planner accepted a kernel/array cell mismatch")
+	}
+	if _, err := PlanMatmul(Matmul{M: 8, K: 8, N: 8, A: a[:3], B: b}, mmProg(4), DefaultLimits(4)); err == nil {
+		t.Fatal("planner accepted a malformed operand")
+	}
+}
+
+func TestPlanConv1DHalo(t *testing.T) {
+	const nx, kw, window = 1000, 9, 128
+	x, w := workloads.LargeConv1DData(nx, kw, 2)
+	pl, err := PlanConv1D(Conv1D{Kernel: w, X: x}, cvProg(kw, window), DefaultLimits(kw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := window - kw + 1 // 120
+	total := nx - kw + 1     // 992
+	if pl.Valid != valid || pl.OutLen != total {
+		t.Fatalf("valid %d outlen %d, want %d %d", pl.Valid, pl.OutLen, valid, total)
+	}
+	if got, want := len(pl.Tiles), (total+valid-1)/valid; got != want {
+		t.Fatalf("%d tiles, want %d", got, want)
+	}
+	for i, tl := range pl.Tiles {
+		if tl.InLo != tl.Lo {
+			t.Fatalf("tile %d: input window starts at %d, want output lo %d", i, tl.InLo, tl.Lo)
+		}
+		if i > 0 {
+			prev := pl.Tiles[i-1]
+			// Consecutive windows overlap by exactly the kernel−1 halo.
+			overlap := prev.InLo + window - tl.InLo
+			if overlap != kw-1 && i < len(pl.Tiles) { // interior tiles
+				if prev.Hi != tl.Lo {
+					t.Fatalf("tile %d: outputs not contiguous (%d..%d then %d)", i, prev.Lo, prev.Hi, tl.Lo)
+				}
+				if overlap < kw-1 {
+					t.Fatalf("tile %d: halo overlap %d < %d", i, overlap, kw-1)
+				}
+			}
+		}
+	}
+	last := pl.Tiles[len(pl.Tiles)-1]
+	if last.Hi != total {
+		t.Fatalf("last tile ends at %d, want %d", last.Hi, total)
+	}
+}
+
+func TestPlanConv1DRejectsWrongShape(t *testing.T) {
+	x, w := workloads.LargeConv1DData(100, 9, 2)
+	p := Conv1D{Kernel: w, X: x}
+	if _, err := PlanConv1D(p, cvProg(8, 64), DefaultLimits(8)); err == nil {
+		t.Fatal("planner accepted a kernel-size/cell mismatch")
+	}
+	bad := cvProg(9, 64)
+	bad.Out.Size = 60 // not window−1
+	if _, err := PlanConv1D(p, bad, DefaultLimits(9)); err == nil {
+		t.Fatal("planner accepted a wrong output size")
+	}
+	if _, err := PlanConv1D(Conv1D{Kernel: w, X: x[:4]}, cvProg(9, 64), DefaultLimits(9)); err == nil {
+		t.Fatal("planner accepted a signal shorter than the kernel")
+	}
+}
+
+// TestMatmulFakeEndToEnd runs a rectangular, edge-padded matmul
+// through plan+farm+stitch with the direct-computation runner and
+// checks element-exact agreement with the plain-Go reference — the
+// partitioning algebra isolated from the simulator.
+func TestMatmulFakeEndToEnd(t *testing.T) {
+	const m, k, n, tile = 10, 7, 5, 3
+	a, b := workloads.LargeMatmulData(m, k, n, 3)
+	pl, err := PlanMatmul(Matmul{M: m, K: k, N: n, A: a, B: b}, mmProg(tile), DefaultLimits(tile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := Run(context.Background(), pl, Config{Arrays: 3}, fakeMatmulRun(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.MatmulRectRef(a, b, m, k, n)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if stats.Dispatched != len(pl.Tiles) || stats.Failed != 0 || stats.Retried != 0 {
+		t.Fatalf("stats %+v: want %d clean dispatches", stats, len(pl.Tiles))
+	}
+	if stats.AggregateCycles != int64(len(pl.Tiles))*100 {
+		t.Fatalf("aggregate cycles %d", stats.AggregateCycles)
+	}
+	// 24 equal tiles on 3 arrays: makespan = 8 tiles' worth.
+	if stats.MakespanCycles != 800 || stats.Speedup != 3 {
+		t.Fatalf("makespan %d speedup %v, want 800 / 3", stats.MakespanCycles, stats.Speedup)
+	}
+	if stats.StagedWords != int64(len(pl.Tiles)*pl.TileIn) {
+		t.Fatalf("staged %d words, want %d", stats.StagedWords, len(pl.Tiles)*pl.TileIn)
+	}
+}
+
+// TestConvFakeEndToEnd checks the haloed conv decomposition against
+// the plain reference, including the boundary-junk discard.
+func TestConvFakeEndToEnd(t *testing.T) {
+	const nx, kw, window = 777, 9, 100
+	x, w := workloads.LargeConv1DData(nx, kw, 4)
+	pl, err := PlanConv1D(Conv1D{Kernel: w, X: x}, cvProg(kw, window), DefaultLimits(kw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Run(context.Background(), pl, Config{Arrays: 4}, fakeConvRun(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.Conv1DRef(x, w)
+	if len(out) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestAssembleRejectsMissingTile(t *testing.T) {
+	a, b := workloads.LargeMatmulData(4, 4, 4, 1)
+	pl, err := PlanMatmul(Matmul{M: 4, K: 4, N: 4, A: a, B: b}, mmProg(2), DefaultLimits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float64, len(pl.Tiles))
+	for i := range outs {
+		outs[i] = make([]float64, pl.TileOut)
+	}
+	outs[3] = nil
+	if _, err := pl.Assemble(outs); err == nil {
+		t.Fatal("Assemble accepted a missing tile output")
+	}
+	outs[3] = make([]float64, 1)
+	if _, err := pl.Assemble(outs); err == nil {
+		t.Fatal("Assemble accepted a short tile output")
+	}
+}

@@ -8,6 +8,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"warp/internal/w2"
@@ -17,6 +18,15 @@ import (
 // parameter name) and returns the output arrays (keyed by "out"
 // parameter name).
 func Run(info *w2.Info, inputs map[string][]float64) (map[string][]float64, error) {
+	return RunContext(context.Background(), info, inputs)
+}
+
+// RunContext interprets like Run but aborts once ctx is cancelled: the
+// statement loop polls the context every few thousand statements, so an
+// oracle run on a large problem respects the same deadlines as the
+// simulator (sim.Config.Ctx).  The returned error wraps ctx.Err().  A
+// nil ctx behaves like Run.
+func RunContext(ctx context.Context, info *w2.Info, inputs map[string][]float64) (map[string][]float64, error) {
 	host, err := BuildHostMem(info, inputs)
 	if err != nil {
 		return nil, err
@@ -24,9 +34,12 @@ func Run(info *w2.Info, inputs map[string][]float64) (map[string][]float64, erro
 	ncells := info.Module.Cells.Last - info.Module.Cells.First + 1
 
 	streams := map[w2.Channel][]float64{}
+	var steps int64 // statement count shared across cells for the ctx poll
 	for i := 0; i < ncells; i++ {
 		c := &cellState{
 			info:  info,
+			ctx:   ctx,
+			steps: &steps,
 			cell:  i,
 			first: i == 0,
 			last:  i == ncells-1,
@@ -87,6 +100,8 @@ func ExtractOutputs(info *w2.Info, host []float64) map[string][]float64 {
 
 type cellState struct {
 	info        *w2.Info
+	ctx         context.Context
+	steps       *int64 // whole-run statement count, for the periodic ctx poll
 	cell        int
 	first, last bool
 	in          map[w2.Channel][]float64
@@ -113,7 +128,19 @@ func (c *cellState) stmts(list []w2.Stmt) error {
 	return nil
 }
 
+// ctxPollInterval is how many statements run between context polls —
+// the interpreter's analogue of the simulator's every-4096-cycles
+// check: cheap on the hot path, prompt enough for deadlines.
+const ctxPollInterval = 4096
+
 func (c *cellState) stmt(s w2.Stmt) error {
+	if c.steps != nil {
+		if *c.steps++; *c.steps%ctxPollInterval == 0 && c.ctx != nil {
+			if err := c.ctx.Err(); err != nil {
+				return fmt.Errorf("interpretation aborted: %w", err)
+			}
+		}
+	}
 	switch s := s.(type) {
 	case *w2.AssignStmt:
 		v, err := c.eval(s.RHS)

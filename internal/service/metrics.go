@@ -96,6 +96,14 @@ type Metrics struct {
 	runSamples  int64
 	peakQueue   int
 	peakQueueAt string
+
+	// Partitioned (fabric) jobs: outcomes plus tile-level counters.
+	fabricJobs       map[string]int64 // result label -> count (ok|error|timeout)
+	fabricTiles      int64            // tiles planned across completed jobs
+	fabricDispatched int64            // tile attempts started (retries included)
+	fabricRetried    int64            // attempts beyond each tile's first
+	fabricFailed     int64            // tiles that exhausted their attempts
+	fabricCycles     int64            // aggregate simulated cycles across tiles
 }
 
 // obsSummaryZero is the empty summary passed for requests that never
@@ -111,6 +119,25 @@ func NewMetrics() *Metrics {
 		runLatency:     newHistogram(),
 		phaseSeconds:   map[string]float64{},
 		phaseCounts:    map[string]int64{},
+		fabricJobs:     map[string]int64{},
+	}
+}
+
+// Fabric records one partitioned-run job: the outcome label plus the
+// job's tile counters (planned, attempts started, retries, failures)
+// and aggregate simulated cycles.  Failed or timed-out jobs still
+// contribute the tile attempts they made before the job died.
+func (m *Metrics) Fabric(result string, seconds float64, tiles, dispatched, retried, failed int, aggCycles int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fabricJobs[result]++
+	m.fabricTiles += int64(tiles)
+	m.fabricDispatched += int64(dispatched)
+	m.fabricRetried += int64(retried)
+	m.fabricFailed += int64(failed)
+	m.fabricCycles += aggCycles
+	if result == "ok" {
+		m.runLatency.observe(seconds)
 	}
 }
 
@@ -252,6 +279,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# HELP warpd_peak_queue_occupancy Highest data-queue high-water mark over all runs.\n")
 	fmt.Fprintf(w, "# TYPE warpd_peak_queue_occupancy gauge\n")
 	fmt.Fprintf(w, "warpd_peak_queue_occupancy %d\n", m.peakQueue)
+
+	fmt.Fprintf(w, "# HELP warpd_fabric_jobs_total Partitioned-run jobs by result (ok|error|timeout).\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_jobs_total counter\n")
+	writeLabelled(w, "warpd_fabric_jobs_total", "result", m.fabricJobs)
+	fmt.Fprintf(w, "# HELP warpd_fabric_tiles_total Tiles planned across partitioned jobs.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_tiles_total counter\n")
+	fmt.Fprintf(w, "warpd_fabric_tiles_total %d\n", m.fabricTiles)
+	fmt.Fprintf(w, "# HELP warpd_fabric_tile_dispatch_total Tile attempts started (retries included).\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_tile_dispatch_total counter\n")
+	fmt.Fprintf(w, "warpd_fabric_tile_dispatch_total %d\n", m.fabricDispatched)
+	fmt.Fprintf(w, "# HELP warpd_fabric_tile_retries_total Tile attempts beyond each tile's first.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_tile_retries_total counter\n")
+	fmt.Fprintf(w, "warpd_fabric_tile_retries_total %d\n", m.fabricRetried)
+	fmt.Fprintf(w, "# HELP warpd_fabric_tile_failures_total Tiles that exhausted their attempts.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_tile_failures_total counter\n")
+	fmt.Fprintf(w, "warpd_fabric_tile_failures_total %d\n", m.fabricFailed)
+	fmt.Fprintf(w, "# HELP warpd_fabric_cycles_total Aggregate simulated cycles across all tiles.\n")
+	fmt.Fprintf(w, "# TYPE warpd_fabric_cycles_total counter\n")
+	fmt.Fprintf(w, "warpd_fabric_cycles_total %d\n", m.fabricCycles)
 }
 
 // writeLabelled emits one sample per label value in sorted order, so

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"warp/internal/workloads"
+)
+
+func decodeBody(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}
+
+// TestRunPartitionedEndToEnd posts a partitioned matmul — a 24×24×24
+// problem over an 8-cell tile kernel — and checks the stitched result
+// element-exact against the plain-Go reference, the fabric stats in
+// the response, and the tile counters at /metrics.
+func TestRunPartitionedEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 2, Arrays: 3})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	const d = 24
+	a, b := workloads.LargeMatmulData(d, d, d, 13)
+	resp, body := postJSON(t, client, ts.URL+"/run", RunRequest{
+		Source: workloads.Matmul(8),
+		Inputs: map[string][]float64{"a": a, "bmat": b},
+		Partition: &PartitionJSON{
+			Workload: "matmul", M: d, K: d, N: d,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	decodeBody(t, body, &rr)
+	want := workloads.MatmulRectRef(a, b, d, d, d)
+	got := rr.Outputs["c"]
+	if len(got) != len(want) {
+		t.Fatalf("%d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if rr.Fabric == nil {
+		t.Fatal("partitioned response missing fabric stats")
+	}
+	if rr.Fabric.Tiles != 27 || rr.Fabric.Arrays != 3 || rr.Fabric.Failed != 0 { // ⌈24/8⌉³
+		t.Fatalf("fabric stats %+v, want 27 clean tiles on 3 arrays", rr.Fabric)
+	}
+	if rr.Fabric.Speedup < 2 {
+		t.Fatalf("modeled speedup %.2f on 3 arrays, want ≥2", rr.Fabric.Speedup)
+	}
+	if rr.Stats.Cycles != rr.Fabric.MakespanCycles {
+		t.Fatalf("response cycles %d != makespan %d", rr.Stats.Cycles, rr.Fabric.MakespanCycles)
+	}
+
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mb)
+	for _, line := range []string{
+		`warpd_fabric_jobs_total{result="ok"} 1`,
+		"warpd_fabric_tiles_total 27",
+		"warpd_fabric_tile_dispatch_total 27",
+		"warpd_fabric_tile_retries_total 0",
+		"warpd_fabric_tile_failures_total 0",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}
+
+// TestRunPartitionedConv exercises the conv1d sharding path through
+// the service, including kernel/signal parameter identification.
+func TestRunPartitionedConv(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	const nx, kw, window = 500, 9, 64
+	x, w := workloads.LargeConv1DData(nx, kw, 3)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/run", RunRequest{
+		Source:    workloads.Conv1D(kw, window),
+		Inputs:    map[string][]float64{"x": x, "w": w},
+		Partition: &PartitionJSON{Workload: "conv1d", Arrays: 4},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	decodeBody(t, body, &rr)
+	want := workloads.Conv1DRef(x, w)
+	got := rr.Outputs["results"]
+	if len(got) != len(want) {
+		t.Fatalf("%d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("results[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if rr.Fabric == nil || rr.Fabric.Arrays != 4 {
+		t.Fatalf("fabric stats %+v", rr.Fabric)
+	}
+}
+
+// TestRunPartitionedRejects covers the 4xx paths: bad workload, bad
+// shape, and a kernel that is not partitionable.
+func TestRunPartitionedRejects(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	a, b := workloads.LargeMatmulData(8, 8, 8, 1)
+	for _, tc := range []struct {
+		name   string
+		req    RunRequest
+		status int
+	}{
+		{"unknown workload", RunRequest{
+			Source:    workloads.Matmul(4),
+			Inputs:    map[string][]float64{"a": a, "bmat": b},
+			Partition: &PartitionJSON{Workload: "fft"},
+		}, http.StatusBadRequest},
+		{"missing shape", RunRequest{
+			Source:    workloads.Matmul(4),
+			Inputs:    map[string][]float64{"a": a, "bmat": b},
+			Partition: &PartitionJSON{Workload: "matmul"},
+		}, http.StatusBadRequest},
+		{"wrong-shaped operands", RunRequest{
+			Source:    workloads.Matmul(4),
+			Inputs:    map[string][]float64{"a": a[:5], "bmat": b},
+			Partition: &PartitionJSON{Workload: "matmul", M: 8, K: 8, N: 8},
+		}, http.StatusBadRequest},
+		{"unpartitionable kernel", RunRequest{
+			Source:    workloads.Polynomial(10, 100),
+			Inputs:    map[string][]float64{},
+			Partition: &PartitionJSON{Workload: "conv1d"},
+		}, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, client, ts.URL+"/run", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}

@@ -34,6 +34,9 @@ type Config struct {
 	// MaxCycles is the per-run livelock guard (0 keeps the simulator
 	// default of 1<<28).
 	MaxCycles int64
+	// Arrays is the default fabric width for partitioned run requests
+	// that name no arrays count of their own (default 2).
+	Arrays int
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
 	// NoVerify disables the static microcode verifier.  By default the
@@ -83,6 +86,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Arrays == 0 {
+		cfg.Arrays = 2
 	}
 	if cfg.FlightSize == 0 {
 		cfg.FlightSize = 64
@@ -161,7 +167,11 @@ type CompileResponse struct {
 }
 
 // RunRequest executes a program: either a previously returned content
-// address or inline source (compiled through the same cache).
+// address or inline source (compiled through the same cache).  With
+// Partition set, the program is treated as an array-sized tile kernel
+// and Inputs as the full oversized problem operands: the server
+// partitions the problem into tiles and farms them across concurrent
+// simulator instances.
 type RunRequest struct {
 	Program   string               `json:"program,omitempty"`
 	Source    string               `json:"source,omitempty"`
@@ -169,6 +179,41 @@ type RunRequest struct {
 	Inputs    map[string][]float64 `json:"inputs"`
 	TimeoutMS int64                `json:"timeout_ms,omitempty"`
 	MaxCycles int64                `json:"max_cycles,omitempty"`
+	Partition *PartitionJSON       `json:"partition,omitempty"`
+}
+
+// PartitionJSON describes the oversized problem a partitioned run
+// request carries.  Inputs are keyed by the tile kernel's input
+// parameter names, holding the full problem operands: for matmul the
+// first declared input is the m×k A matrix and the second the k×n B
+// matrix; for conv1d the parameter sized to the array is the kernel
+// weights and the other is the full signal.
+type PartitionJSON struct {
+	Workload string `json:"workload"` // "matmul" or "conv1d"
+	// Matmul problem shape (row-major operands).
+	M int `json:"m,omitempty"`
+	K int `json:"k,omitempty"`
+	N int `json:"n,omitempty"`
+	// Arrays overrides the server's default fabric width.
+	Arrays int `json:"arrays,omitempty"`
+	// TileRetries is how many extra attempts a livelocked tile gets
+	// (default 1); TileDeadlineMS bounds each attempt (0 = none).
+	TileRetries    int   `json:"tile_retries,omitempty"`
+	TileDeadlineMS int64 `json:"tile_deadline_ms,omitempty"`
+}
+
+// FabricJSON is the wire form of the fabric-level statistics of one
+// partitioned run.
+type FabricJSON struct {
+	Tiles           int     `json:"tiles"`
+	Arrays          int     `json:"arrays"`
+	Dispatched      int     `json:"dispatched"`
+	Retried         int     `json:"retried"`
+	Failed          int     `json:"failed"`
+	AggregateCycles int64   `json:"aggregate_cycles"`
+	MakespanCycles  int64   `json:"makespan_cycles"`
+	Speedup         float64 `json:"speedup"`
+	StagedWords     int64   `json:"staged_words"`
 }
 
 // RunStatsJSON is the wire form of the run statistics.
@@ -180,12 +225,14 @@ type RunStatsJSON struct {
 	MulUtilization float64 `json:"mul_utilization"`
 }
 
-// RunResponse carries the outputs and statistics of one run.
+// RunResponse carries the outputs and statistics of one run.  Fabric
+// is set only for partitioned runs.
 type RunResponse struct {
 	Program string               `json:"program"`
 	Cached  bool                 `json:"cached"`
 	Outputs map[string][]float64 `json:"outputs"`
 	Stats   RunStatsJSON         `json:"stats"`
+	Fabric  *FabricJSON          `json:"fabric,omitempty"`
 }
 
 // BatchRequest runs several requests through the pool concurrently.
@@ -398,6 +445,9 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	if req.MaxCycles > 0 {
 		maxCycles = req.MaxCycles
 	}
+	if req.Partition != nil {
+		return s.runPartitioned(ctx, rc, req, prog, key, hit, maxCycles)
+	}
 
 	var resp *RunResponse
 	start := time.Now()
@@ -440,6 +490,132 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 			s.metrics.Run("rejected", 0, obsSummaryZero)
 		default:
 			s.metrics.Run("error", 0, obsSummaryZero)
+		}
+		s.finishRequest(rc, err)
+		return nil, err
+	}
+	s.finishRequest(rc, nil)
+	return resp, nil
+}
+
+// buildProblem maps a partitioned request's full-size inputs onto the
+// tile kernel's parameters: matmul operands in declaration order, the
+// conv1d kernel identified as the parameter sized to the array.
+func buildProblem(prog *warp.Program, req *RunRequest) (warp.Problem, error) {
+	p := req.Partition
+	var ins []warp.ParamInfo
+	for _, pi := range prog.Params() {
+		if !pi.Out {
+			ins = append(ins, pi)
+		}
+	}
+	if len(ins) != 2 {
+		return warp.Problem{}, &httpError{http.StatusUnprocessableEntity,
+			fmt.Sprintf("partitioning needs a 2-input tile kernel, this one has %d inputs", len(ins))}
+	}
+	switch p.Workload {
+	case "matmul":
+		if p.M < 1 || p.K < 1 || p.N < 1 {
+			return warp.Problem{}, &httpError{http.StatusBadRequest,
+				fmt.Sprintf("matmul partition needs m, k, n >= 1 (got %dx%dx%d)", p.M, p.K, p.N)}
+		}
+		return warp.MatmulProblem(p.M, p.K, p.N, req.Inputs[ins[0].Name], req.Inputs[ins[1].Name]), nil
+	case "conv1d":
+		ker, sig := ins[1], ins[0]
+		if ker.Size != prog.Cells() {
+			ker, sig = ins[0], ins[1]
+		}
+		if ker.Size != prog.Cells() || sig.Size <= ker.Size {
+			return warp.Problem{}, &httpError{http.StatusUnprocessableEntity,
+				"conv1d partitioning needs a kernel parameter sized to the array and a longer signal window"}
+		}
+		return warp.Conv1DProblem(req.Inputs[ker.Name], req.Inputs[sig.Name]), nil
+	}
+	return warp.Problem{}, &httpError{http.StatusBadRequest,
+		fmt.Sprintf("unknown partition workload %q (want matmul or conv1d)", p.Workload)}
+}
+
+// runPartitioned is runOne's tail for partition requests: the resolved
+// program becomes the tile kernel and the farm runs inside one pool
+// slot (its internal concurrency is the fabric's own array count).
+func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunRequest, prog *warp.Program, key string, hit bool, maxCycles int64) (*RunResponse, error) {
+	arrays := req.Partition.Arrays
+	if arrays <= 0 {
+		arrays = s.cfg.Arrays
+	}
+	retries := req.Partition.TileRetries
+	if retries == 0 {
+		retries = 1
+	}
+	prob, err := buildProblem(prog, req)
+	if err != nil {
+		s.metrics.Fabric("error", 0, 0, 0, 0, 0, 0)
+		s.finishRequest(rc, err)
+		return nil, err
+	}
+
+	var resp *RunResponse
+	start := time.Now()
+	queueSpan := rc.tr.StartSpan("queue-wait", rc.root)
+	err = s.pool.Do(ctx, func(ctx context.Context) error {
+		queueSpan.End()
+		runSpan := rc.tr.StartSpan("fabric", rc.root)
+		defer runSpan.End()
+		runSpan.Annotate("arrays", fmt.Sprint(arrays))
+		out, fs, err := prog.RunPartitioned(warp.RunConfig{
+			Context:      ctx,
+			MaxCycles:    maxCycles,
+			Arrays:       arrays,
+			TileRetries:  retries,
+			TileDeadline: time.Duration(req.Partition.TileDeadlineMS) * time.Millisecond,
+		}, prob)
+		if fs != nil {
+			runSpan.Annotate("tiles", fmt.Sprint(fs.Tiles))
+		}
+		if err != nil {
+			runSpan.Annotate("error", err.Error())
+			result := "error"
+			if errors.Is(err, context.DeadlineExceeded) {
+				result = "timeout"
+			}
+			if fs != nil {
+				s.metrics.Fabric(result, 0, fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
+			} else {
+				s.metrics.Fabric(result, 0, 0, 0, 0, 0, 0)
+			}
+			return err
+		}
+		rc.cycles = fs.AggregateCycles
+		resp = &RunResponse{
+			Program: key,
+			Cached:  hit,
+			Outputs: out,
+			Stats: RunStatsJSON{
+				Cycles:         fs.MakespanCycles,
+				MaxQueue:       fs.PeakQueue,
+				MaxQueueAt:     fs.PeakQueueAt,
+				AddUtilization: fs.AddUtil,
+				MulUtilization: fs.MulUtil,
+			},
+			Fabric: &FabricJSON{
+				Tiles:           fs.Tiles,
+				Arrays:          fs.Arrays,
+				Dispatched:      fs.Dispatched,
+				Retried:         fs.Retried,
+				Failed:          fs.Failed,
+				AggregateCycles: fs.AggregateCycles,
+				MakespanCycles:  fs.MakespanCycles,
+				Speedup:         fs.Speedup,
+				StagedWords:     fs.StagedWords,
+			},
+		}
+		s.metrics.Fabric("ok", time.Since(start).Seconds(), fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
+		return nil
+	})
+	queueSpan.End()
+	if err != nil {
+		if errors.Is(err, ErrBusy) {
+			s.metrics.Fabric("rejected", 0, 0, 0, 0, 0, 0)
 		}
 		s.finishRequest(rc, err)
 		return nil, err

@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file holds the oversized-problem side of the package: W2
+// generators and seeded data for problems too large for one Warp array
+// (more rows than the array has cells, or per-cell working sets past
+// the 4K-word cell memory).  They feed internal/fabric — the tiled
+// multi-array execution layer — and its benchmarks: the fabric slices
+// these problems into array-sized tiles, and the un-partitioned W2
+// module generated here is what the internal/interp oracle runs for
+// the element-exact cross-check.
+
+// MatmulRect returns C = A×B for an m×k by k×n product on k cells:
+// cell j stores row j of B (n words of its local memory) during the
+// distribution phase, then partial sums for each of the m rows of A
+// accumulate along the array.  The square Matmul(n) is the special
+// case m = k = n.
+//
+// The un-partitioned module needs k cells and n words of cell memory
+// per cell, so k beyond the array size or n beyond the 4K-word cell
+// memory makes the problem oversized — runnable only under the
+// reference interpreter (as the fabric's oracle) or tiled across
+// arrays via the fabric.  k must be at least 2 (the systolic
+// distribution phase needs a downstream neighbour).
+func MatmulRect(m, k, n int) string {
+	if m < 1 || k < 2 || n < 1 {
+		panic(fmt.Sprintf("workloads.MatmulRect(%d, %d, %d): need m, n >= 1 and k >= 2", m, k, n))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `/* %dx%d by %dx%d matrix multiplication on %d cells: C = A x B.
+   Cell j stores B row j in local memory; C[i][j] accumulates along
+   the array. */
+module matmul (a in, bmat in, c out)
+float a[%d][%d], bmat[%d][%d];
+float c[%d][%d];
+cellprogram (cid : 0 : %d)
+begin
+    function matmul
+    begin
+        float brow[%d];
+        float bv, av, temp, yin, ans;
+        int i, j, k;
+        /* Distribution: keep the first row of B that arrives, pass the
+           rest, and send dummies to conserve the stream. */
+        for j := 0 to %d do begin
+            receive (L, X, bv, bmat[0][j]);
+            brow[j] := bv;
+        end;
+        for k := 1 to %d do
+            for j := 0 to %d do begin
+                receive (L, X, temp, bmat[k][j]);
+                send (R, X, temp);
+            end;
+        for j := 0 to %d do
+            send (R, X, 0.0);
+        /* Compute: for each row i of A, keep own element, then
+           accumulate over the columns. */
+        for i := 0 to %d do begin
+            receive (L, X, av, a[i][0]);
+            for k := 1 to %d do begin
+                receive (L, X, temp, a[i][k]);
+                send (R, X, temp);
+            end;
+            send (R, X, 0.0);
+            for j := 0 to %d do begin
+                receive (L, Y, yin, 0.0);
+                ans := yin + av*brow[j];
+                send (R, Y, ans, c[i][j]);
+            end;
+        end;
+    end
+    call matmul;
+end
+`, m, k, k, n, k,
+		m, k, k, n, m, n, k-1,
+		n,
+		n-1, k-1, n-1, n-1,
+		m-1, k-1, n-1)
+	return b.String()
+}
+
+// MatmulRectRef computes the reference product (A is m×k, B is k×n,
+// both row-major).
+func MatmulRectRef(a, b []float64, m, k, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// quarter draws one quarter-integer in [-2, 2] — the exact-arithmetic
+// test alphabet shared by every large-problem generator (see
+// LargeMatmulData).
+func quarter(rng *rand.Rand) float64 {
+	return float64(rng.Intn(17)-8) / 4
+}
+
+// LargeMatmulData returns seeded deterministic operands for an m×k by
+// k×n product: A (m×k) and B (k×n), row-major.
+//
+// Entries are quarter-integers in [-2, 2], so every product is a
+// multiple of 1/16 with magnitude ≤ 4 and every partial sum of up to
+// ~2^20 terms stays within ~30 significant bits — far inside float64's
+// 53-bit mantissa.  No operation in the whole computation rounds,
+// which makes the result independent of summation order: a tiled run
+// that reassociates the k-dimension reduction is bit-identical to the
+// sequential oracle.  The fabric's element-exact acceptance tests rely
+// on this.
+func LargeMatmulData(m, k, n int, seed int64) (a, b []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]float64, m*k)
+	b = make([]float64, k*n)
+	for i := range a {
+		a[i] = quarter(rng)
+	}
+	for i := range b {
+		b[i] = quarter(rng)
+	}
+	return a, b
+}
+
+// LargeConv1DData returns a seeded deterministic signal of n points
+// and a kernel of k weights, from the same exact-arithmetic alphabet
+// as LargeMatmulData.
+func LargeConv1DData(n, k int, seed int64) (x, w []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]float64, n)
+	w = make([]float64, k)
+	for i := range x {
+		x[i] = quarter(rng)
+	}
+	for i := range w {
+		w[i] = quarter(rng)
+	}
+	return x, w
+}

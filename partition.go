@@ -1,0 +1,119 @@
+package warp
+
+import (
+	"context"
+	"fmt"
+
+	"warp/internal/driver"
+	"warp/internal/fabric"
+)
+
+// Problem is an oversized workload for RunPartitioned — one whose
+// operands exceed what a single compiled array kernel accepts.
+// Construct one with MatmulProblem or Conv1DProblem.
+type Problem struct {
+	kind string
+	mm   fabric.Matmul
+	cv   fabric.Conv1D
+}
+
+// MatmulProblem describes the matrix product C = A×B with A m×k and
+// B k×n, both row-major.  RunPartitioned decomposes it into the
+// T×T-block tiles of the compiled matmul kernel (T = its array size),
+// zero-padding edge blocks, and accumulates each output block's
+// reduction partials in a fixed ascending order.
+func MatmulProblem(m, k, n int, a, b []float64) Problem {
+	return Problem{kind: "matmul", mm: fabric.Matmul{M: m, K: k, N: n, A: a, B: b}}
+}
+
+// Conv1DProblem describes the 1-D convolution of x with the kernel:
+// out[i] = Σ_j kernel[j]·x[i+j].  RunPartitioned slices x into
+// overlapping windows of the compiled conv kernel's input size — the
+// kernel−1-point halo at each boundary — so every output element is
+// computed whole inside one tile and the partitioned result is
+// bit-exact against the un-partitioned program for arbitrary data.
+func Conv1DProblem(kernel, x []float64) Problem {
+	return Problem{kind: "conv1d", cv: fabric.Conv1D{Kernel: kernel, X: x}}
+}
+
+// FabricStats aggregates a partitioned run: tile dispatch counters
+// (dispatched, retried, failed), the summed machine time of all tiles,
+// the modeled N-array makespan and the resulting deterministic speedup
+// over a single array, the staged host I/O traffic, and the
+// cycle-weighted utilization profile.  See fabric.Stats for the field
+// documentation.
+type FabricStats = fabric.Stats
+
+// TileError is the structured per-tile failure RunPartitioned returns
+// when one tile exhausts its bounded attempts: the tile index, the
+// attempt count, and the final underlying error (errors.Is sees
+// through it, e.g. to ErrLivelock).  Extract it with errors.As.
+type TileError = fabric.TileError
+
+// RunPartitioned executes an oversized problem by farming array-sized
+// tiles of it across cfg.Arrays concurrent instances of the simulated
+// machine, all running this compiled program as the tile kernel.  The
+// partitioner sizes tiles against the kernel's array geometry and the
+// cell-memory budget; the farm double-buffers host I/O (each array's
+// next tile is staged while the current one runs), bounds each tile
+// attempt with cfg.TileDeadline, retries livelocked tiles up to
+// cfg.TileRetries times, and fails the job with a *TileError — without
+// hanging — when a tile exhausts its attempts.  The stitched output is
+// keyed by the kernel's out parameter, mirroring Run, and is a pure
+// function of the problem: identical across runs regardless of tile
+// completion order.
+func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]float64, *FabricStats, error) {
+	pl, err := p.partitionPlan(cfg, prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := func(ctx context.Context, t fabric.Tile, in map[string][]float64) ([]float64, fabric.TileStats, error) {
+		out, stats, err := driver.RunWith(p.c, in, driver.RunOptions{
+			Ctx:       ctx,
+			Recorder:  p.rec,
+			MaxCycles: cfg.MaxCycles,
+		})
+		if err != nil {
+			return nil, fabric.TileStats{}, err
+		}
+		ts := fabric.TileStats{Cycles: stats.Cycles}
+		if stats.Obs != nil {
+			ts.Summary = stats.Obs.Summarize()
+		}
+		return out[pl.OutName()], ts, nil
+	}
+	out, stats, err := fabric.Run(cfg.Context, pl, fabric.Config{
+		Arrays:   cfg.Arrays,
+		Deadline: cfg.TileDeadline,
+		Retries:  cfg.TileRetries,
+	}, run)
+	if err != nil {
+		return nil, stats, err
+	}
+	return map[string][]float64{pl.OutName(): out}, stats, nil
+}
+
+// partitionPlan builds the tile plan for prob against this program's
+// kernel shape and the configured memory budget.
+func (p *Program) partitionPlan(cfg RunConfig, prob Problem) (*fabric.Plan, error) {
+	var tp fabric.TileProgram
+	tp.Cells = p.c.Cells
+	for _, prm := range p.Params() {
+		if prm.Out {
+			tp.Out = fabric.Param{Name: prm.Name, Size: prm.Size}
+		} else {
+			tp.In = append(tp.In, fabric.Param{Name: prm.Name, Size: prm.Size})
+		}
+	}
+	lim := fabric.DefaultLimits(p.c.Cells)
+	if cfg.TileMemBudget > 0 {
+		lim.CellMemWords = cfg.TileMemBudget
+	}
+	switch prob.kind {
+	case "matmul":
+		return fabric.PlanMatmul(prob.mm, tp, lim)
+	case "conv1d":
+		return fabric.PlanConv1D(prob.cv, tp, lim)
+	}
+	return nil, fmt.Errorf("warp: zero Problem; use MatmulProblem or Conv1DProblem")
+}

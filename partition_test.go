@@ -1,0 +1,149 @@
+package warp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"warp"
+	"warp/internal/interp"
+	"warp/internal/w2"
+	"warp/internal/workloads"
+)
+
+// oracle runs a W2 source under the reference interpreter — the
+// programmer's-model semantics of the full, un-partitioned problem,
+// independent of the compiler and simulator.
+func oracle(t *testing.T, src string, in map[string][]float64) map[string][]float64 {
+	t.Helper()
+	mod, err := w2.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := w2.Analyze(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := interp.Run(info, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunPartitionedMatmulOracle is the acceptance path: a 25×25×25
+// matmul — too large for the ten-cell kernel in every dimension, and
+// not a multiple of the tile side — partitioned across 4 arrays, each
+// running the real cycle-accurate simulator, element-exact against the
+// interpreter oracle evaluating the whole problem at once.
+func TestRunPartitionedMatmulOracle(t *testing.T) {
+	const m, k, n, tile = 25, 25, 25, 10
+	prog, err := warp.Compile(workloads.Matmul(tile), warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := workloads.LargeMatmulData(m, k, n, 17)
+	out, stats, err := prog.RunPartitioned(warp.RunConfig{Arrays: 4}, warp.MatmulProblem(m, k, n, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, workloads.MatmulRect(m, k, n), map[string][]float64{"a": a, "bmat": b})["c"]
+	got := out["c"]
+	if len(got) != m*n {
+		t.Fatalf("got %d output elements, want %d", len(got), m*n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c[%d] = %v, oracle says %v", i, got[i], want[i])
+		}
+	}
+	if stats.Tiles != 27 || stats.Failed != 0 { // ⌈25/10⌉³
+		t.Fatalf("stats %+v, want 27 clean tiles", stats)
+	}
+	if stats.Arrays != 4 || stats.Speedup < 2 {
+		t.Fatalf("modeled speedup %.2f on %d arrays, want ≥2 on 4", stats.Speedup, stats.Arrays)
+	}
+	if stats.AggregateCycles <= 0 || stats.MakespanCycles <= 0 || stats.AddUtil <= 0 {
+		t.Fatalf("profile not aggregated: %+v", stats)
+	}
+}
+
+// TestRunPartitionedConvOracle: a 300-point convolution through a
+// 64-point-window kernel on 9 cells, haloed tiles across 4 arrays,
+// bit-exact against the full-signal oracle.
+func TestRunPartitionedConvOracle(t *testing.T) {
+	const nx, kw, window = 300, 9, 64
+	prog, err := warp.Compile(workloads.Conv1D(kw, window), warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, w := workloads.LargeConv1DData(nx, kw, 23)
+	out, stats, err := prog.RunPartitioned(warp.RunConfig{Arrays: 4}, warp.Conv1DProblem(w, x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full-problem oracle's first nx−kw+1 outputs are the valid
+	// convolution; the partitioned run returns exactly those.
+	want := oracle(t, workloads.Conv1D(kw, nx), map[string][]float64{"x": x, "w": w})["results"]
+	got := out["results"]
+	if len(got) != nx-kw+1 {
+		t.Fatalf("got %d outputs, want %d", len(got), nx-kw+1)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("results[%d] = %v, oracle says %v", i, got[i], want[i])
+		}
+	}
+	if stats.Failed != 0 || stats.Tiles < 4 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestRunPartitionedBudget: shrinking the tile memory budget below the
+// kernel's needs must fail planning, not simulate garbage.
+func TestRunPartitionedBudget(t *testing.T) {
+	prog, err := warp.Compile(workloads.Matmul(4), warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := workloads.LargeMatmulData(8, 8, 8, 1)
+	_, _, err = prog.RunPartitioned(warp.RunConfig{Arrays: 2, TileMemBudget: 3},
+		warp.MatmulProblem(8, 8, 8, a, b))
+	if err == nil {
+		t.Fatal("partitioner accepted a kernel that overflows the tile memory budget")
+	}
+}
+
+// TestRunPartitionedCancel: a cancelled job context aborts the farm
+// promptly with the context's error.
+func TestRunPartitionedCancel(t *testing.T) {
+	prog, err := warp.Compile(workloads.Matmul(4), warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 40
+	a, b := workloads.LargeMatmulData(d, d, d, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err = prog.RunPartitioned(warp.RunConfig{Context: ctx, Arrays: 2},
+		warp.MatmulProblem(d, d, d, a, b))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancelled job did not abort promptly")
+	}
+}
+
+// TestRunPartitionedZeroProblem: the zero Problem is rejected.
+func TestRunPartitionedZeroProblem(t *testing.T) {
+	prog, err := warp.Compile(workloads.Matmul(4), warp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prog.RunPartitioned(warp.RunConfig{}, warp.Problem{}); err == nil {
+		t.Fatal("zero Problem accepted")
+	}
+}

@@ -1,11 +1,12 @@
 // Command benchgate compares a fresh benchmark run against the
 // committed BENCH_*.json baseline and fails on regressions in the
-// deterministic counters (simulated cycles, µcode sizes, skew).
+// deterministic counters (simulated cycles, µcode sizes, skew, and
+// the fabric's tile counts, aggregate and makespan cycles).
 // Wall-clock drift only warns — hosts differ.
 //
 // Usage:
 //
-//	go run ./scripts/benchgate.go                      # run suite, gate vs BENCH_3.json
+//	go run ./scripts/benchgate.go                      # run suite, gate vs BENCH_5.json
 //	go run ./scripts/benchgate.go -fresh bench.json    # gate a pre-built report
 //	go run ./scripts/benchgate.go -cycle-threshold 0   # any cycle increase fails (CI)
 //
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_3.json", "committed baseline report")
+		baseline = flag.String("baseline", "BENCH_5.json", "committed baseline report")
 		fresh    = flag.String("fresh", "", "pre-built fresh report (empty = run the suite now)")
 		out      = flag.String("out", "", "also write the fresh report here")
 		iters    = flag.Int("iters", 3, "wall-clock iterations when running the suite")

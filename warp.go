@@ -135,6 +135,24 @@ type RunConfig struct {
 	// MaxCycles overrides the runaway-simulation guard (0 keeps the
 	// default of 1<<28 cycles).  On overrun the error wraps ErrLivelock.
 	MaxCycles int64
+
+	// The remaining fields configure RunPartitioned only; the
+	// single-array Run variants ignore them.
+
+	// Arrays is how many simulated array instances RunPartitioned farms
+	// tiles across concurrently (minimum 1).
+	Arrays int
+	// TileMemBudget overrides the per-cell data-memory budget in words
+	// that the partitioner sizes tiles against (0 = the hardware's
+	// 4K-word cell memory).
+	TileMemBudget int
+	// TileDeadline bounds each tile attempt; a tile that overruns it is
+	// retried like a livelock (0 = no per-tile deadline).
+	TileDeadline time.Duration
+	// TileRetries is how many additional attempts a retryable tile
+	// failure (livelock, tile deadline) gets before RunPartitioned
+	// fails the whole job with a *TileError.
+	TileRetries int
 }
 
 // Run executes the compiled program on the simulated Warp machine with
@@ -204,6 +222,13 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 // simulated results.
 func (p *Program) Interpret(inputs map[string][]float64) (map[string][]float64, error) {
 	return interp.Run(p.c.Info, inputs)
+}
+
+// InterpretContext interprets like Interpret but aborts once ctx is
+// cancelled, so oracle runs on large problems respect the same
+// deadlines as the simulator.
+func (p *Program) InterpretContext(ctx context.Context, inputs map[string][]float64) (map[string][]float64, error) {
+	return interp.RunContext(ctx, p.c.Info, inputs)
 }
 
 // Metrics are the per-program compiler metrics of the paper's
