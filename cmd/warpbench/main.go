@@ -7,8 +7,8 @@
 //	warpbench -json out.json [-iters n]
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
-// table6-4, table6-5, table7-1, throughput, utilization, varskew,
-// fabric, all (default).
+// table6-4, table6-5, table7-1, throughput, utilization, hotspot,
+// varskew, fabric, all (default).
 //
 // With -json, warpbench instead runs the machine-readable benchmark
 // suite (internal/bench) and writes every experiment's cycle counts,
@@ -72,12 +72,13 @@ func main() {
 		"table7-1":    table71,
 		"throughput":  throughput,
 		"utilization": utilization,
+		"hotspot":     hotspot,
 		"varskew":     varskew,
 		"fabric":      fabricScaling,
 	}
 	names := []string{"fig3-1", "fig4-2", "fig5-1", "table6-1", "table6-2",
 		"table6-3", "table6-4", "table6-5", "table7-1", "throughput",
-		"utilization", "varskew", "fabric"}
+		"utilization", "hotspot", "varskew", "fabric"}
 
 	run := func(name string) {
 		fmt.Printf("==================== %s ====================\n", name)
@@ -520,6 +521,45 @@ func utilization() error {
 			return fmt.Errorf("%s: %w", j.name, errs[i])
 		}
 		fmt.Printf("--- %s ---\n%s\n", j.name, reports[i])
+	}
+	return nil
+}
+
+// hotspot is the utilization-by-source experiment: for the headline
+// workloads it joins the simulator's exact per-µPC cycle counters with
+// the compiler's debug map and prints where the machine's cycles went
+// in W2 source terms — the hot statements, the stall breakdown per
+// line, and the scheduler-introspection counters that explain how each
+// loop's schedule came to be.  The busy cycles of the hottest lines
+// are the dynamic form of §7's utilization claim; the starved/bubble
+// columns show exactly which statements pay the pipeline's overhead.
+func hotspot() error {
+	type job struct {
+		name string
+		src  string
+		pipe bool
+		in   map[string][]float64
+	}
+	jobs := []job{
+		{"polynomial, list-scheduled", workloads.Polynomial(10, 100), false,
+			map[string][]float64{"z": make([]float64, 100), "c": make([]float64, 10)}},
+		{"polynomial, software-pipelined", workloads.Polynomial(10, 100), true,
+			map[string][]float64{"z": make([]float64, 100), "c": make([]float64, 10)}},
+		{"1d-conv, software-pipelined", workloads.Conv1D(9, 512), true,
+			map[string][]float64{"x": make([]float64, 512), "w": make([]float64, 9)}},
+		{"matmul 10x10", workloads.Matmul(10), true,
+			map[string][]float64{"a": make([]float64, 100), "bmat": make([]float64, 100)}},
+	}
+	for _, j := range jobs {
+		prog, err := warp.Compile(j.src, warp.Options{Pipeline: j.pipe})
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		sp, err := prog.SourceProfile(j.in)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Printf("--- %s ---\n%s\n%s\n", j.name, sp.Report(), prog.SchedReport())
 	}
 	return nil
 }

@@ -21,6 +21,11 @@
 //	GET  /healthz  liveness
 //	GET  /debug/requests             last N requests with span trees (JSON)
 //	GET  /debug/requests/{id}/trace  one request as a Chrome trace download
+//	GET  /debug/requests/{id}/profile  a profiled run's source-line cycle
+//	               profile: gzipped pprof by default (feed to `go tool
+//	               pprof`), ?format=text or ?format=folded for the
+//	               hot-spot report / flame-graph stacks.  Runs opt in
+//	               with "profile": true on the run request.
 //
 // Saturation returns 429 with a Retry-After derived from the observed
 // median run latency and queue depth; per-request deadlines abort the

@@ -69,6 +69,19 @@ type fabricFlags struct {
 	seed      int64
 	check     bool
 	statsJSON string
+
+	// profile enables per-tile µPC profiling (the farm merges tiles into
+	// one aggregate); printProfile additionally prints the text reports.
+	profile      bool
+	printProfile bool
+	// Pre-opened output files (nil when the flag is unset); main opens
+	// them before anything expensive runs.
+	statsFile *os.File
+	flameFile *os.File
+	flamePath string
+	pprofFile *os.File
+	pprofPath string
+	outFile   *os.File
 }
 
 // runFabric compiles the tile kernel the spec names, partitions the
@@ -125,6 +138,7 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 		MaxCycles:    f.maxCycles,
 		TileDeadline: f.deadline,
 		TileRetries:  f.retries,
+		Profile:      f.profile,
 	}, prob)
 	if err != nil {
 		var te *warp.TileError
@@ -143,15 +157,34 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 	fmt.Printf("aggregate %d cycles, makespan %d cycles, modeled speedup %.2fx, wall %s\n",
 		fs.AggregateCycles, fs.MakespanCycles, fs.Speedup, time.Duration(fs.WallNS).Round(time.Microsecond))
 
-	if f.statsJSON != "" {
+	if f.statsFile != nil {
 		rep := &bench.Report{Schema: bench.Schema, Experiments: []bench.Experiment{
 			bench.FromFabric("warpsim/fabric-"+spec.Workload, m, fs,
 				&bench.Wall{Iters: 1, MedianNS: wallNS, MinNS: wallNS}),
 		}}
-		if err := rep.WriteFile(f.statsJSON); err != nil {
-			fail(err)
+		if err := writeClose(f.statsFile, rep.Write); err != nil {
+			fail(fmt.Errorf("-stats-json: %w", err))
 		}
 		fmt.Printf("stats: wrote %s (%s schema)\n", f.statsJSON, bench.Schema)
+	}
+
+	writeProfile(fs.Source, f.printProfile, prog.SchedReport(),
+		f.flameFile, f.flamePath, f.pprofFile, f.pprofPath)
+
+	if f.outFile != nil {
+		data, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			fail(err)
+		}
+		if _, werr := f.outFile.Write(data); werr == nil {
+			err = f.outFile.Close()
+		} else {
+			f.outFile.Close()
+			err = werr
+		}
+		if err != nil {
+			fail(fmt.Errorf("-o: %w", err))
+		}
 	}
 
 	if f.check {

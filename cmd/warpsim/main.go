@@ -35,6 +35,20 @@
 // utilization/stall table and the compiler's per-phase timing;
 // -stats-json writes the run record in the same JSON schema as
 // `warpbench -json` (one per-experiment record, schema warpbench/1).
+//
+// Profiling: -profile records the exact per-µPC cycle counters and
+// prints the source-line hot-spot report (with the busy/starved/bubble
+// stall breakdown) plus the scheduler-introspection report; -flame
+// writes the same attribution as folded flame-graph stacks
+// (flamegraph.pl / speedscope input); -pprof writes it as gzipped
+// pprof protobuf for `go tool pprof`.  -flame and -pprof imply
+// profiling.  On a fabric run the profile is the merge of every tile's
+// exact attribution.
+//
+// Every output path (-o, -trace, -stats-json, -flame, -pprof) is
+// created up front, before compiling or simulating anything, so an
+// unwritable path fails immediately — exit status 1 and a message
+// naming the flag — instead of after a long run.
 package main
 
 import (
@@ -42,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -67,6 +82,9 @@ func main() {
 		arrays    = flag.Int("arrays", 1, "farm a fabric problem spec across this many simulated arrays")
 		tileRetry = flag.Int("tile-retries", 1, "extra attempts a livelocked tile gets before the job fails")
 		tileDL    = flag.Duration("tile-deadline", 0, "per-tile attempt deadline (0 = none)")
+		profile   = flag.Bool("profile", false, "record the exact source-line cycle profile and print the hot-spot and scheduler reports")
+		flamePath = flag.String("flame", "", "write the profile as folded flame-graph stacks (implies profiling)")
+		pprofPath = flag.String("pprof", "", "write the profile as gzipped pprof protobuf for `go tool pprof` (implies profiling)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -74,13 +92,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	profiling := *profile || *flamePath != "" || *pprofPath != ""
+
+	// Open every output path before compiling or simulating anything:
+	// an unwritable path must fail now, with the flag named, not after
+	// the run has spent its cycles.
+	traceFile := createOut("-trace", *tracePath)
+	statsFile := createOut("-stats-json", *statsJSON)
+	flameFile := createOut("-flame", *flamePath)
+	pprofFile := createOut("-pprof", *pprofPath)
+	outFile := createOut("-o", *outPath)
+
 	if spec, err := loadFabricSpec(flag.Arg(0)); err != nil {
 		fail(err)
 	} else if spec != nil {
+		if traceFile != nil {
+			fail(fmt.Errorf("-trace applies to single-array runs, not fabric problem specs"))
+		}
 		runFabric(spec, fabricFlags{
 			pipeline: *pipeline, arrays: *arrays, retries: *tileRetry,
 			deadline: *tileDL, maxCycles: *maxCycles, seed: *seed,
-			check: *check, statsJSON: *statsJSON,
+			check: *check, profile: profiling, printProfile: *profile,
+			statsJSON: *statsJSON, statsFile: statsFile,
+			flameFile: flameFile, flamePath: *flamePath,
+			pprofFile: pprofFile, pprofPath: *pprofPath, outFile: outFile,
 		})
 		return
 	}
@@ -105,17 +140,13 @@ func main() {
 	}
 	fillRandom(prog, inputs, *seed)
 
-	runCfg := warp.RunConfig{MaxCycles: *maxCycles}
+	runCfg := warp.RunConfig{MaxCycles: *maxCycles, Profile: profiling}
 	var out map[string][]float64
 	var rstats *warp.RunStats
 	runStart := time.Now()
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fail(err)
-		}
-		out, rstats, err = prog.RunTracedWith(runCfg, inputs, f)
-		if cerr := f.Close(); err == nil && cerr != nil {
+	if traceFile != nil {
+		out, rstats, err = prog.RunTracedWith(runCfg, inputs, traceFile)
+		if cerr := traceFile.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
 		if err != nil {
@@ -132,17 +163,20 @@ func main() {
 	fmt.Printf("module %s: %d cells, skew %d, %d cycles, peak queue %d (%s)\n",
 		m.Name, m.Cells, m.Skew, rstats.Cycles, rstats.MaxQueue, rstats.MaxQueueAt)
 
-	if *statsJSON != "" {
+	if statsFile != nil {
 		wallNS := int64(time.Since(runStart))
 		rep := &bench.Report{Schema: bench.Schema, Experiments: []bench.Experiment{
 			bench.FromRun("warpsim/"+m.Name, m, rstats,
 				&bench.Wall{Iters: 1, MedianNS: wallNS, MinNS: wallNS}),
 		}}
-		if err := rep.WriteFile(*statsJSON); err != nil {
-			fail(err)
+		if err := writeClose(statsFile, rep.Write); err != nil {
+			fail(fmt.Errorf("-stats-json: %w", err))
 		}
 		fmt.Printf("stats: wrote %s (%s schema)\n", *statsJSON, bench.Schema)
 	}
+
+	writeProfile(rstats.Source, *profile, prog.SchedReport(),
+		flameFile, *flamePath, pprofFile, *pprofPath)
 
 	if *stats {
 		fmt.Println()
@@ -170,13 +204,18 @@ func main() {
 		fmt.Println("check: simulated outputs match the reference interpreter")
 	}
 
-	if *outPath != "" {
+	if outFile != nil {
 		data, err := json.MarshalIndent(out, "", " ")
 		if err != nil {
 			fail(err)
 		}
-		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-			fail(err)
+		if _, err := outFile.Write(data); err == nil {
+			err = outFile.Close()
+		} else {
+			outFile.Close()
+		}
+		if err != nil {
+			fail(fmt.Errorf("-o: %w", err))
 		}
 	} else if !*stats {
 		for name, vals := range out {
@@ -239,6 +278,60 @@ func approxEqual(a, b float64) bool {
 	diff := math.Abs(a - b)
 	scale := math.Max(math.Abs(a), math.Abs(b))
 	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// createOut opens one output path up front, before any compilation or
+// simulation, so an unwritable path fails immediately with the flag
+// that named it.  An empty path (flag unset) returns nil.
+func createOut(flagName, path string) *os.File {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: %s: cannot write %s: %v\n", flagName, path, err)
+		os.Exit(1)
+	}
+	return f
+}
+
+// writeClose runs a writer against the file and closes it, reporting
+// the first error — a short write on close (full disk) must not pass
+// silently.
+func writeClose(f *os.File, write func(w io.Writer) error) error {
+	err := write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeProfile emits the source profile in the requested formats: the
+// text hot-spot and scheduler reports to stdout for -profile, folded
+// stacks for -flame, pprof protobuf for -pprof.
+func writeProfile(sp *warp.SourceProfile, print bool, schedReport string,
+	flameFile *os.File, flamePath string, pprofFile *os.File, pprofPath string) {
+	if sp == nil {
+		return
+	}
+	if print {
+		fmt.Println()
+		fmt.Print(sp.Report())
+		fmt.Println()
+		fmt.Print(schedReport)
+	}
+	if flameFile != nil {
+		if err := writeClose(flameFile, sp.WriteFolded); err != nil {
+			fail(fmt.Errorf("-flame: %w", err))
+		}
+		fmt.Printf("profile: wrote %s (folded stacks; flamegraph.pl or speedscope)\n", flamePath)
+	}
+	if pprofFile != nil {
+		if err := writeClose(pprofFile, sp.WritePprof); err != nil {
+			fail(fmt.Errorf("-pprof: %w", err))
+		}
+		fmt.Printf("profile: wrote %s (view with `go tool pprof -top %s`)\n", pprofPath, pprofPath)
+	}
 }
 
 func fail(err error) {

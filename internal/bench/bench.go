@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"warp"
+	"warp/internal/prof"
 	"warp/internal/workloads"
 )
 
@@ -36,6 +37,14 @@ type Wall struct {
 	Iters    int   `json:"iters"`
 	MedianNS int64 `json:"median_ns"`
 	MinNS    int64 `json:"min_ns"`
+}
+
+// PhaseWall is one compiler phase's wall time within a compile
+// experiment, reduced over the iterations like Wall.
+type PhaseWall struct {
+	Name     string `json:"name"`
+	MedianNS int64  `json:"median_ns"`
+	MinNS    int64  `json:"min_ns"`
 }
 
 // Experiment is one benchmark record.  Deterministic fields (Cycles,
@@ -68,6 +77,17 @@ type Experiment struct {
 	Speedup   float64 `json:"speedup,omitempty"`
 
 	Wall *Wall `json:"wall,omitempty"`
+
+	// Compile-kind extras (additive, schema version unchanged).
+	// CompilePhases records per-phase wall times so compile-time
+	// regressions name the phase, not just the total; DominantPhase is
+	// the phase with the largest median; Sched is the scheduler's
+	// introspection roll-up (deterministic counters except search_ns and
+	// skew_ns, which are wall times — the gate treats the whole block as
+	// informational).
+	CompilePhases []PhaseWall       `json:"compile_phases,omitempty"`
+	DominantPhase string            `json:"dominant_phase,omitempty"`
+	Sched         *prof.SchedTotals `json:"sched,omitempty"`
 }
 
 // Report is the top-level artifact.
@@ -264,6 +284,8 @@ func Run(iters int) (*Report, error) {
 		var prog *warp.Program
 		var err error
 		durs := make([]time.Duration, iters)
+		phaseDurs := map[string][]time.Duration{}
+		var phaseOrder []string
 		for i := 0; i < iters; i++ {
 			start := time.Now()
 			prog, err = warp.Compile(src, warp.Options{Pipeline: true})
@@ -271,14 +293,33 @@ func Run(iters int) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("compile/%s: %w", cc.name, err)
 			}
+			for _, ph := range prog.Phases() {
+				if _, seen := phaseDurs[ph.Name]; !seen {
+					phaseOrder = append(phaseOrder, ph.Name)
+				}
+				phaseDurs[ph.Name] = append(phaseDurs[ph.Name], time.Duration(ph.Seconds*1e9))
+			}
 		}
 		m := prog.Metrics()
-		rep.Experiments = append(rep.Experiments, Experiment{
+		ex := Experiment{
 			Name: "compile/" + cc.name, Kind: "compile",
 			Cells: m.Cells, Skew: m.Skew, W2Lines: m.W2Lines,
 			CellUcode: m.CellInstrs, IUUcode: m.IUInstrs,
 			Wall: wallStats(durs),
-		})
+		}
+		var domNS int64
+		for _, name := range phaseOrder {
+			w := wallStats(phaseDurs[name])
+			ex.CompilePhases = append(ex.CompilePhases, PhaseWall{Name: name, MedianNS: w.MedianNS, MinNS: w.MinNS})
+			if w.MedianNS > domNS {
+				domNS, ex.DominantPhase = w.MedianNS, name
+			}
+		}
+		if sched := prog.Sched(); sched != nil {
+			t := sched.Totals()
+			ex.Sched = &t
+		}
+		rep.Experiments = append(rep.Experiments, ex)
 	}
 
 	for _, rc := range runCases() {
@@ -322,6 +363,11 @@ func Run(iters int) (*Report, error) {
 	}
 	return rep, nil
 }
+
+// CompileDriftFactor is the growth factor past which a compile phase's
+// median wall time draws a warning naming the phase.  Wall times vary
+// with the host, so 2× keeps the signal above cross-machine noise.
+const CompileDriftFactor = 2.0
 
 // Verdict is the outcome of comparing a fresh report to a baseline.
 // Regressions fail the gate; warnings are advisory (wall-clock drift,
@@ -400,6 +446,23 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdic
 				v.Warnings = append(v.Warnings,
 					fmt.Sprintf("%s: wall median drifted %s -> %s (%+.0f%%) — informational, hosts differ",
 						f.Name, time.Duration(b.Wall.MedianNS), time.Duration(f.Wall.MedianNS), 100*drift))
+			}
+		}
+		// Per-phase compile-time drift: a phase whose median wall time
+		// grew past CompileDriftFactor× the baseline names itself, so a
+		// superlinear scheduler blowup is identified, not just noticed.
+		if len(b.CompilePhases) > 0 && len(f.CompilePhases) > 0 {
+			basePhase := map[string]int64{}
+			for _, ph := range b.CompilePhases {
+				basePhase[ph.Name] = ph.MedianNS
+			}
+			for _, ph := range f.CompilePhases {
+				old := basePhase[ph.Name]
+				if old > 0 && float64(ph.MedianNS) > CompileDriftFactor*float64(old) {
+					v.Warnings = append(v.Warnings,
+						fmt.Sprintf("%s: compile phase %q drifted %s -> %s (>%gx) — check the scheduler counters",
+							f.Name, ph.Name, time.Duration(old), time.Duration(ph.MedianNS), CompileDriftFactor))
+				}
 			}
 		}
 	}

@@ -197,3 +197,65 @@ func TestRunPinsBaselines(t *testing.T) {
 		t.Errorf("1-array makespan %d != aggregate %d", a1.Makespan, a1.AggCycles)
 	}
 }
+
+// TestCompilePhaseDrift checks the per-phase compile-time warning: a
+// phase whose median grew past CompileDriftFactor× names itself; drift
+// under the factor stays silent.
+func TestCompilePhaseDrift(t *testing.T) {
+	base := rpt(Experiment{Name: "compile/c", Kind: "compile",
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 1000}, {Name: "skew", MedianNS: 500}}})
+	fresh := rpt(Experiment{Name: "compile/c", Kind: "compile",
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 2100}, {Name: "skew", MedianNS: 900}}})
+	v := Compare(base, fresh, 0.10, 100) // wall threshold out of the way
+	if !v.OK() {
+		t.Fatalf("phase drift must warn, not fail: %v", v.Regressions)
+	}
+	joined := strings.Join(v.Warnings, "\n")
+	if !strings.Contains(joined, `compile phase "cellgen" drifted`) {
+		t.Errorf("no warning naming the drifted phase: %v", v.Warnings)
+	}
+	if strings.Contains(joined, `"skew"`) {
+		t.Errorf("sub-factor drift warned: %v", v.Warnings)
+	}
+}
+
+// TestRunRecordsCompileIntrospection runs one compile case end to end
+// and checks the new warpbench/1 fields: per-phase wall times that are
+// present for every compiler phase, a dominant phase drawn from them,
+// and the scheduler totals.
+func TestRunRecordsCompileIntrospection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the full Table 7-1 suite")
+	}
+	rep, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Experiments {
+		if e.Kind != "compile" {
+			continue
+		}
+		if len(e.CompilePhases) == 0 {
+			t.Errorf("%s: no per-phase wall times", e.Name)
+			continue
+		}
+		names := map[string]bool{}
+		for _, ph := range e.CompilePhases {
+			names[ph.Name] = true
+			if ph.MedianNS <= 0 {
+				t.Errorf("%s: phase %s has no wall time", e.Name, ph.Name)
+			}
+		}
+		for _, want := range []string{"parse", "cellgen", "iugen", "hostgen"} {
+			if !names[want] {
+				t.Errorf("%s: missing phase %q in %v", e.Name, want, e.CompilePhases)
+			}
+		}
+		if !names[e.DominantPhase] {
+			t.Errorf("%s: dominant phase %q is not a recorded phase", e.Name, e.DominantPhase)
+		}
+		if e.Sched == nil || e.Sched.Loops == 0 {
+			t.Errorf("%s: no scheduler totals: %+v", e.Name, e.Sched)
+		}
+	}
+}

@@ -14,9 +14,11 @@ package cellgen
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"warp/internal/ir"
 	"warp/internal/mcode"
+	"warp/internal/prof"
 	"warp/internal/w2"
 )
 
@@ -37,6 +39,9 @@ type Result struct {
 	ConstRegs map[float64]mcode.Reg
 	// PipelinedLoops counts the loops software pipelining transformed.
 	PipelinedLoops int
+	// Sched records the modulo scheduler's per-loop search counters
+	// (attempts, placements, evictions) for compiler introspection.
+	Sched *prof.SchedProfile
 }
 
 // Generate produces the cell microprogram for every function of the
@@ -46,6 +51,7 @@ func Generate(p *ir.Program, opts Options) (*Result, error) {
 		Cell:       &mcode.CellProgram{},
 		ScalarRegs: make(map[*w2.Symbol]mcode.Reg),
 		ConstRegs:  make(map[float64]mcode.Reg),
+		Sched:      &prof.SchedProfile{},
 	}
 	g := &gen{opts: opts, res: res}
 	for _, fn := range p.Funcs {
@@ -200,14 +206,24 @@ func (g *gen) genRegions(regions []ir.Region) ([]mcode.CodeItem, error) {
 // loops may be software pipelined; everything else is a plain counted
 // loop around the scheduled body.
 func (g *gen) genLoop(r *ir.LoopRegion) ([]mcode.CodeItem, error) {
+	ls := prof.LoopSched{Loop: r.Loop.Var, Line: r.Loop.Pos.Line, Trips: r.Trips()}
+	start := time.Now()
 	if g.opts.Pipeline {
-		if items, ok, err := g.pipelineLoop(r); err != nil {
+		items, ok, err := g.pipelineLoop(r, &ls)
+		ls.SearchNS = time.Since(start).Nanoseconds()
+		if err != nil {
 			return nil, err
-		} else if ok {
+		}
+		if ok {
+			ls.Pipelined = true
+			g.res.Sched.Loops = append(g.res.Sched.Loops, ls)
 			g.res.PipelinedLoops++
 			return items, nil
 		}
+	} else {
+		ls.Reason = "pipelining disabled"
 	}
+	g.res.Sched.Loops = append(g.res.Sched.Loops, ls)
 	body, err := g.genRegions(r.Body)
 	if err != nil {
 		return nil, err

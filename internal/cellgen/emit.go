@@ -162,6 +162,11 @@ func (g *gen) emitBlock(s *blockSchedule, regs map[*ir.Node]mcode.Reg, shift map
 		nodes := byCycle[t]
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 		for _, n := range nodes {
+			// Debug map: the first node placed into the word (lowest ID in
+			// this cycle) claims the instruction's source position.
+			if in.Pos.Line == 0 && n.Pos.Line != 0 {
+				in.Pos = n.Pos
+			}
 			switch n.Op {
 			case ir.OpRecv:
 				ext, lit := g.extInfo(n.Ext, shift)

@@ -3,6 +3,7 @@ package cellgen
 import (
 	"warp/internal/ir"
 	"warp/internal/mcode"
+	"warp/internal/prof"
 )
 
 // pipelineLoop attempts to software pipeline an innermost loop whose
@@ -14,13 +15,15 @@ import (
 //
 // Implemented in pipeline_modulo.go; this indirection keeps the
 // fallback contract in one place.
-func (g *gen) pipelineLoop(r *ir.LoopRegion) ([]mcode.CodeItem, bool, error) {
+func (g *gen) pipelineLoop(r *ir.LoopRegion, ls *prof.LoopSched) ([]mcode.CodeItem, bool, error) {
 	if len(r.Body) != 1 {
+		ls.Reason = "not an innermost single-block loop"
 		return nil, false, nil
 	}
 	br, ok := r.Body[0].(*ir.BlockRegion)
 	if !ok {
+		ls.Reason = "not an innermost single-block loop"
 		return nil, false, nil
 	}
-	return g.moduloSchedule(r, br.Block)
+	return g.moduloSchedule(r, br.Block, ls)
 }

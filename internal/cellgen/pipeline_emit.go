@@ -219,6 +219,12 @@ func (em *moduloEmitter) extFor(e *ir.ExtRef, k int64, kernel bool) (*mcode.Addr
 // repetition; later repetitions advance the loop counter, which the
 // Delta/Step mapping accounts for.
 func (em *moduloEmitter) emit(in *mcode.Instr, n *ir.Node, k int64, kernel bool) error {
+	// Debug map: the first instance placed into the word claims the
+	// instruction's source position (deterministic: nodes are visited in
+	// schedule order).
+	if in.Pos.Line == 0 && n.Pos.Line != 0 {
+		in.Pos = n.Pos
+	}
 	var delta map[*w2.ForStmt]int64
 	if kernel {
 		delta = map[*w2.ForStmt]int64{em.r.Loop: k}

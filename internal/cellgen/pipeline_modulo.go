@@ -5,6 +5,7 @@ import (
 
 	"warp/internal/ir"
 	"warp/internal/mcode"
+	"warp/internal/prof"
 	"warp/internal/w2"
 )
 
@@ -209,7 +210,7 @@ type moduloResult struct {
 // fixed budget.  Eviction is what lets recurrence clusters (for
 // example, a carried scalar's move tied to its consumer's cycle)
 // converge where one-pass greedy placement deadlocks.
-func tryModulo(b *ir.Block, edges []mEdge, ii int64) (*moduloResult, bool) {
+func tryModulo(b *ir.Block, edges []mEdge, ii int64, ls *prof.LoopSched) (*moduloResult, bool) {
 	succ := map[*ir.Node][]mEdge{}
 	pred := map[*ir.Node][]mEdge{}
 	for _, e := range edges {
@@ -280,6 +281,7 @@ func tryModulo(b *ir.Block, edges []mEdge, ii int64) (*moduloResult, bool) {
 		if !ok {
 			return
 		}
+		ls.Evictions++
 		k := keyOf(n, t)
 		occ := occupants[k]
 		for i, m := range occ {
@@ -298,6 +300,7 @@ func tryModulo(b *ir.Block, edges []mEdge, ii int64) (*moduloResult, bool) {
 			return nil, false
 		}
 		budget--
+		ls.Placements++
 		// Highest priority unscheduled op.
 		var n *ir.Node
 		for m := range unsched {
@@ -397,7 +400,7 @@ func min64(a, b int64) int64 {
 // feasible II, check register demand, and emit
 // prologue/kernel/epilogue.  ok=false means "fall back to a plain
 // counted loop".
-func (g *gen) moduloSchedule(r *ir.LoopRegion, b *ir.Block) ([]mcode.CodeItem, bool, error) {
+func (g *gen) moduloSchedule(r *ir.LoopRegion, b *ir.Block, ls *prof.LoopSched) ([]mcode.CodeItem, bool, error) {
 	// Baseline: the plain list schedule (also the fallback measure).
 	base, err := listSchedule(b)
 	if err != nil {
@@ -405,12 +408,15 @@ func (g *gen) moduloSchedule(r *ir.LoopRegion, b *ir.Block) ([]mcode.CodeItem, b
 	}
 	edges, ok := buildModuloEdges(b, r.Loop)
 	if !ok {
+		ls.Reason = "non-parallel array subscripts"
 		return nil, false, nil
 	}
 
 	trips := r.Trips()
+	ls.MII = int(resMII(b))
 	for ii := resMII(b); ii < base.len; ii++ {
-		ms, ok := tryModulo(b, edges, ii)
+		ls.Attempts++
+		ms, ok := tryModulo(b, edges, ii, ls)
 		if !ok {
 			continue
 		}
@@ -419,10 +425,13 @@ func (g *gen) moduloSchedule(r *ir.LoopRegion, b *ir.Block) ([]mcode.CodeItem, b
 			return nil, false, err
 		}
 		if ok {
+			ls.II = int(ii)
 			return items, true, nil
 		}
 		// Register pressure or trip count rejected this II; a larger II
 		// lowers the overlap, so keep searching.
+		ls.EmitRejects++
 	}
+	ls.Reason = "no feasible II below the list schedule"
 	return nil, false, nil
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"warp/internal/mcode"
 	"warp/internal/obs"
 	"warp/internal/opt"
+	"warp/internal/prof"
 	"warp/internal/sim"
 	"warp/internal/skew"
 	"warp/internal/verify"
@@ -89,6 +91,16 @@ type Compiled struct {
 	// Options.Verify was set).
 	Verified *verify.Report
 
+	// Debug maps every µinstruction address back to W2 source (line,
+	// loop-nest path); built on every compile, it is what the profiler
+	// joins with the simulator's per-µPC counters.
+	Debug *prof.DebugMap
+	// Sched records the modulo scheduler's and skew search's internal
+	// counters for compiler introspection.
+	Sched *prof.SchedProfile
+	// Src is the compiled W2 source text (for profile report rendering).
+	Src string
+
 	Cells   int
 	W2Lines int
 }
@@ -129,7 +141,7 @@ func (c *Compiled) phase(rec obs.Recorder, name string, start time.Time, size in
 }
 
 func compile(src string, opts Options) (*Compiled, error) {
-	c := &Compiled{W2Lines: countLines(src)}
+	c := &Compiled{W2Lines: countLines(src), Src: src}
 	rec := opts.Recorder
 
 	start := time.Now()
@@ -186,9 +198,13 @@ func compile(src string, opts Options) (*Compiled, error) {
 	}
 	c.CellGen = cg
 	c.Cell = cg.Cell
+	c.Sched = cg.Sched
+	c.Debug = prof.BuildDebugMap(mod.Name, src, c.Cell)
 	note := ""
 	if opts.Pipeline {
-		note = fmt.Sprintf("%d loops pipelined", cg.PipelinedLoops)
+		t := c.Sched.Totals()
+		note = fmt.Sprintf("%d loops pipelined; %d II attempts, %d placements, %d evictions",
+			cg.PipelinedLoops, t.Attempts, t.Placements, t.Evictions)
 	}
 	c.phase(rec, "cellgen", start, c.Cell.NumInstrs(), note)
 
@@ -201,10 +217,20 @@ func compile(src string, opts Options) (*Compiled, error) {
 	if c.Cells > 1 {
 		var maxSkew int64
 		for ch, tp := range c.Timing {
-			s, err := skew.MinSkew(tp, tp)
+			chStart := time.Now()
+			s, st, err := skew.MinSkewStats(tp, tp)
 			if err != nil {
 				return nil, fmt.Errorf("driver: channel %s: %w", ch, err)
 			}
+			c.Sched.Skews = append(c.Sched.Skews, prof.SkewSearch{
+				Channel: fmt.Sprint(ch),
+				Method:  st.Method,
+				Ops:     st.Ops,
+				Pairs:   st.Pairs,
+				Pruned:  st.Pruned,
+				Skew:    s,
+				NS:      time.Since(chStart).Nanoseconds(),
+			})
 			if s > maxSkew {
 				maxSkew = s
 			}
@@ -224,7 +250,15 @@ func compile(src string, opts Options) (*Compiled, error) {
 			c.QueueOcc[ch] = occ
 		}
 	}
-	c.phase(rec, "skew", start, int(c.Skew), "")
+	// Channel map iteration is unordered; keep the introspection record
+	// deterministic.
+	sort.Slice(c.Sched.Skews, func(i, j int) bool { return c.Sched.Skews[i].Channel < c.Sched.Skews[j].Channel })
+	skewNote := ""
+	if len(c.Sched.Skews) > 0 {
+		t := c.Sched.Totals()
+		skewNote = fmt.Sprintf("%d ops enumerated, %d pairs analyzed, %d pruned", t.SkewOps, t.SkewPairs, t.SkewPruned)
+	}
+	c.phase(rec, "skew", start, int(c.Skew), skewNote)
 
 	start = time.Now()
 	iu, err := iugen.Generate(c.Cell)
@@ -291,6 +325,10 @@ type RunOptions struct {
 	// MaxCycles overrides the runaway-simulation guard (0 keeps the
 	// sim default of 1<<28).
 	MaxCycles int64
+	// Profile enables exact per-µPC cycle attribution in the simulator
+	// (sim.Config.PCStats); the counters land in Stats.Obs.PC, ready to
+	// join with Compiled.Debug.
+	Profile bool
 }
 
 // Run executes the compiled program on the simulated Warp machine.
@@ -325,6 +363,7 @@ func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string
 		MaxCycles: o.MaxCycles,
 		Ctx:       o.Ctx,
 		Recorder:  o.Recorder,
+		PCStats:   o.Profile,
 	})
 	if err != nil {
 		return nil, nil, err

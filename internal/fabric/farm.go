@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"warp/internal/obs"
+	"warp/internal/prof"
 	"warp/internal/sim"
 )
 
@@ -22,6 +23,10 @@ type RunTileFunc func(ctx context.Context, t Tile, inputs map[string][]float64) 
 type TileStats struct {
 	Cycles  int64
 	Summary obs.Summary
+	// Source is the tile run's source-line cycle profile; non-nil only
+	// on profiled runs.  The farm merges every tile's profile into
+	// Stats.Source.
+	Source *prof.SourceProfile
 }
 
 // Config sizes and paces the farm.
@@ -86,6 +91,12 @@ type Stats struct {
 	PeakQueueAt string
 	AddUtil     float64
 	MulUtil     float64
+
+	// Source is the job-wide source-line cycle profile: every tile's
+	// exact per-line attribution merged (line and stack counters sum;
+	// Cycles is the aggregate machine time).  Non-nil only when the
+	// tiles ran with profiling enabled.
+	Source *prof.SourceProfile
 
 	// WallNS is the job's host wall-clock time.
 	WallNS int64
@@ -205,6 +216,12 @@ func Run(ctx context.Context, pl *Plan, cfg Config, run RunTileFunc) ([]float64,
 		if r.stats.Summary.PeakQueue > stats.PeakQueue {
 			stats.PeakQueue = r.stats.Summary.PeakQueue
 			stats.PeakQueueAt = r.stats.Summary.PeakQueueAt
+		}
+		if r.stats.Source != nil {
+			if stats.Source == nil {
+				stats.Source = &prof.SourceProfile{}
+			}
+			stats.Source.Merge(r.stats.Source)
 		}
 	}
 	stats.StagedWords = stagedWords.Load()

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"warp/internal/prof"
 	"warp/internal/sim"
 	"warp/internal/workloads"
 )
@@ -283,5 +284,68 @@ func TestModelMakespan(t *testing.T) {
 		if got := modelMakespan(c.cycles, c.n); got != c.want {
 			t.Fatalf("modelMakespan(%v, %d) = %d, want %d", c.cycles, c.n, got, c.want)
 		}
+	}
+}
+
+// TestFarmSourceAggregation checks Stats.Source: every profiled tile's
+// exact per-line attribution merges into one job-wide profile whose
+// counters are the sums, regardless of how many arrays raced.
+func TestFarmSourceAggregation(t *testing.T) {
+	pl := stressPlan(t, 8, 8, 8, 2) // 64 tiles
+	const perTile = 100
+	run := func(ctx context.Context, tl Tile, in map[string][]float64) ([]float64, TileStats, error) {
+		out, ts, err := fakeMatmulRun(perTile)(ctx, tl, in)
+		if err != nil {
+			return nil, ts, err
+		}
+		ts.Source = &prof.SourceProfile{
+			Module: "mm", Cells: 2, Cycles: perTile,
+			Busy: 60, Starved: 10, Bubble: 5,
+			Lines: []prof.LineStat{
+				{Line: 0, Text: "(preamble/pad)", Bubble: 5},
+				{Line: 4, Text: "c[i] := c[i] + a*b;", Busy: 60, Starved: 10},
+			},
+			Stacks: []prof.StackStat{
+				{Frames: []string{"mm", "(preamble/pad)"}, Cycles: 5},
+				{Frames: []string{"mm", "for i @3", "L4 c[i] := c[i] + a*b;"}, Cycles: 70},
+			},
+		}
+		return out, ts, nil
+	}
+	_, stats, err := Run(context.Background(), pl, Config{Arrays: 4}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stats.Source
+	if sp == nil {
+		t.Fatal("profiled tiles but Stats.Source is nil")
+	}
+	tiles := int64(stats.Tiles)
+	if sp.Cycles != tiles*perTile {
+		t.Errorf("aggregate cycles = %d, want %d", sp.Cycles, tiles*perTile)
+	}
+	if sp.Cycles != stats.AggregateCycles {
+		t.Errorf("profile cycles %d != AggregateCycles %d", sp.Cycles, stats.AggregateCycles)
+	}
+	if sp.Attributed() != tiles*75 {
+		t.Errorf("aggregate attributed = %d, want %d", sp.Attributed(), tiles*75)
+	}
+	if len(sp.Lines) != 2 || len(sp.Stacks) != 2 {
+		t.Fatalf("merge duplicated entries: %d lines, %d stacks", len(sp.Lines), len(sp.Stacks))
+	}
+	if sp.Lines[1].Busy != tiles*60 || sp.Lines[1].Starved != tiles*10 {
+		t.Errorf("line 4 counters = %+v", sp.Lines[1])
+	}
+	if sp.Cells != 2 {
+		t.Errorf("cells = %d, want the per-tile max 2", sp.Cells)
+	}
+
+	// Unprofiled tiles leave Source nil.
+	_, stats2, err := Run(context.Background(), pl, Config{Arrays: 4}, fakeMatmulRun(perTile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Source != nil {
+		t.Error("unprofiled job grew a Source profile")
 	}
 }

@@ -209,6 +209,16 @@ type Instr struct {
 	Mem [MemPorts]*MemOp
 	IO  []*IOOp // at most one per (direction, channel, recv/send) port
 	Lit *LitOp
+
+	// Debug information carried alongside the microcode.  Pos is the W2
+	// source position of the statement this instruction primarily
+	// executes (the first field placed into the word claims it; zero for
+	// scheduled nops and synthetic preamble/pad cycles).  PC is the
+	// instruction's static µprogram address, assigned by AssignPCs in
+	// the same canonical walk order NumInstrs counts — the key the
+	// simulator's exact per-µPC cycle counters are indexed by.
+	Pos w2.Pos
+	PC  int
 }
 
 // Empty reports whether the instruction is a no-op.
@@ -305,6 +315,44 @@ func (p *CellProgram) Cycles() int64 {
 	for _, it := range p.Items {
 		n += it.Cycles()
 	}
+	return n
+}
+
+// WalkInstrs visits every static microinstruction of items in the
+// canonical order (straight-line blocks and loop bodies in program
+// order), passing the stack of enclosing loops outermost-first.  It is
+// the single definition of µprogram address order: AssignPCs, NumInstrs
+// and the profiler's debug map all derive from this walk, so a PC
+// assigned at compile time indexes the same instruction everywhere.
+func WalkInstrs(items []CodeItem, visit func(in *Instr, loops []*LoopItem)) {
+	var stack []*LoopItem
+	var walk func(items []CodeItem)
+	walk = func(items []CodeItem) {
+		for _, it := range items {
+			switch it := it.(type) {
+			case *Straight:
+				for _, in := range it.Instrs {
+					visit(in, stack)
+				}
+			case *LoopItem:
+				stack = append(stack, it)
+				walk(it.Body)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	walk(items)
+}
+
+// AssignPCs numbers every static microinstruction with its µprogram
+// address in canonical walk order and returns the instruction count.
+// The simulator's per-µPC profile counters are indexed by these PCs.
+func (p *CellProgram) AssignPCs() int {
+	n := 0
+	WalkInstrs(p.Items, func(in *Instr, _ []*LoopItem) {
+		in.PC = n
+		n++
+	})
 	return n
 }
 

@@ -252,6 +252,46 @@ func TestUtilizationReport(t *testing.T) {
 	}
 }
 
+// TestUtilizationReportGolden pins the exact report text — including
+// the host-stall and peak-queue ("MaxQueueAt") lines — so format
+// regressions show up as a diff, not as a silently reshaped table.
+func TestUtilizationReportGolden(t *testing.T) {
+	const golden = `run: 2 cells, skew 6, lead 4, 100 cycles
+
+per-cell utilization and stall attribution (cycles):
+cell   active   busy%    add%    mul% | in.add% in.mul% |  starved  bubble  skew-in   drain
+   0       90   88.9%   77.8%   66.7% |   85.0%   75.0% |        6       4        0       6
+   1       90   91.1%   77.8%   66.7% |   85.0%   75.0% |        8       0        6       0
+ all      180   90.0%   77.8%   66.7% |   85.0%   75.0% |       14       4        6       6
+(add%/mul% over the active window; in.add%/in.mul% over the innermost loop — §7's
+ "all the arithmetic units are fully utilized in the innermost loop" is in.≈100%)
+
+queue high-water marks and occupancy:
+queue          peak     mean      p50      p95   pushes
+cell0.X          12     0.70        1        2       90
+cell1.Y          30     1.40        2        2       80
+cell0.Adr        64     1.50        2        2      200
+peak data-queue occupancy 30 at cell1.Y
+host input backpressure (queue-full): X 3 cycles, Y 0 cycles
+`
+	got := sampleProfile().UtilizationReport()
+	if got != golden {
+		gl, ol := strings.Split(golden, "\n"), strings.Split(got, "\n")
+		for i := 0; i < len(gl) || i < len(ol); i++ {
+			var w, g string
+			if i < len(gl) {
+				w = gl[i]
+			}
+			if i < len(ol) {
+				g = ol[i]
+			}
+			if w != g {
+				t.Errorf("line %d:\n want %q\n  got %q", i+1, w, g)
+			}
+		}
+	}
+}
+
 func TestPhaseReport(t *testing.T) {
 	if PhaseReport(nil) != "" {
 		t.Error("PhaseReport(nil) should be empty")

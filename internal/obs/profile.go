@@ -55,6 +55,21 @@ func (c *CellProfile) Inner() *DepthProfile {
 	return nil
 }
 
+// PCProfile holds one cell's exact per-µPC cycle counters, indexed by
+// the static µprogram address assigned by mcode.AssignPCs.  For every
+// executed instruction the simulator increments exactly one of the
+// three counters at its PC, so for each cell
+//
+//	Σ_pc (Busy+Starved+Bubble) == CellProfile.Active()
+//
+// — no simulated active cycle is unattributed.  Only filled when the
+// run requested profiling (sim.Config.PCStats); nil otherwise.
+type PCProfile struct {
+	Busy    []int64
+	Starved []int64
+	Bubble  []int64
+}
+
 // QueueProfile describes one hardware queue at one cell's input
 // boundary over a run.
 type QueueProfile struct {
@@ -118,6 +133,10 @@ type Profile struct {
 
 	Cell   []CellProfile
 	Queues []QueueProfile
+
+	// PC holds the exact per-µPC counters per cell when the run was
+	// profiled (sim.Config.PCStats); nil on unprofiled runs.
+	PC []PCProfile
 
 	// HostStallX/Y count cycles the host input stream was blocked by a
 	// full queue into cell 0 (queue-full backpressure).

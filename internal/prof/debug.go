@@ -1,0 +1,76 @@
+package prof
+
+import (
+	"strings"
+
+	"warp/internal/mcode"
+)
+
+// LoopFrame is one level of the loop-nest path enclosing a
+// microinstruction: the source loop variable and the line of its for
+// statement.
+type LoopFrame struct {
+	Var  string `json:"var"`
+	Line int    `json:"line"`
+}
+
+// PCInfo maps one static µinstruction address back to W2 source: the
+// primary source position of the statement it executes and the
+// loop-nest path it sits inside (outermost first).  Line 0 marks a
+// scheduled nop or a synthetic cycle (constant preamble, inter-region
+// pad) with no source statement of its own.
+type PCInfo struct {
+	PC    int         `json:"pc"`
+	Line  int         `json:"line"`
+	Col   int         `json:"col,omitempty"`
+	Loops []LoopFrame `json:"loops,omitempty"`
+}
+
+// DebugMap is the debug information the compiler carries alongside a
+// cell microprogram: for every µPC, where it came from in the W2
+// source.  All cells run the same microprogram, so one map covers the
+// whole array.  It is exact and total — every static instruction has
+// an entry, so every simulated cycle the profiler sees can be
+// attributed.
+type DebugMap struct {
+	Module string   `json:"module"`
+	NumPCs int      `json:"num_pcs"`
+	PCs    []PCInfo `json:"pcs"`
+	Source []string `json:"-"` // source lines; Source[i] is line i+1
+}
+
+// BuildDebugMap assigns µprogram addresses to every instruction of the
+// cell program (via AssignPCs) and records the address → source
+// mapping.  It must run after code generation and before the program
+// is profiled; the driver calls it as part of compilation.
+func BuildDebugMap(module, src string, cell *mcode.CellProgram) *DebugMap {
+	d := &DebugMap{Module: module, NumPCs: cell.AssignPCs()}
+	if src != "" {
+		d.Source = strings.Split(src, "\n")
+	}
+	d.PCs = make([]PCInfo, 0, d.NumPCs)
+	mcode.WalkInstrs(cell.Items, func(in *mcode.Instr, loops []*mcode.LoopItem) {
+		info := PCInfo{PC: in.PC, Line: in.Pos.Line, Col: in.Pos.Col}
+		if len(loops) > 0 {
+			info.Loops = make([]LoopFrame, len(loops))
+			for i, l := range loops {
+				f := LoopFrame{}
+				if l.Src != nil {
+					f.Var = l.Src.Var
+					f.Line = l.Src.Pos.Line
+				}
+				info.Loops[i] = f
+			}
+		}
+		d.PCs = append(d.PCs, info)
+	})
+	return d
+}
+
+// LineText returns the trimmed source text of a 1-based line, or "".
+func (d *DebugMap) LineText(line int) string {
+	if line < 1 || line > len(d.Source) {
+		return ""
+	}
+	return strings.TrimSpace(d.Source[line-1])
+}

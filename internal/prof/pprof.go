@@ -1,0 +1,153 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+	"strings"
+)
+
+// WritePprof writes the profile in pprof's gzipped profile.proto wire
+// format, viewable with `go tool pprof`.  The encoder is hand-rolled
+// (the repo carries no dependencies): one sample per flame stack with
+// a single "cycles/count" sample type, one synthetic function and
+// location per stack frame, leaf-first location order as the format
+// requires.
+func (p *SourceProfile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.encodeProto()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// encodeProto builds the uncompressed profile.proto message.
+func (p *SourceProfile) encodeProto() []byte {
+	e := &protoEnc{strIdx: map[string]int64{"": 0}, strs: []string{""}}
+
+	// Function and location tables: one per distinct frame label.  In
+	// this synthetic profile a location is fully described by its
+	// function (the frame label) and a line number parsed out of the
+	// debug map at build time is already embedded in the label, so the
+	// Line message carries the function only.
+	type frameIDs struct{ fn, loc uint64 }
+	frames := map[string]frameIDs{}
+	var fnMsgs, locMsgs [][]byte
+	frameID := func(label string) uint64 {
+		if ids, ok := frames[label]; ok {
+			return ids.loc
+		}
+		id := uint64(len(frames) + 1)
+		frames[label] = frameIDs{fn: id, loc: id}
+
+		fn := &buf{}
+		fn.varintField(1, id)                      // id
+		fn.varintField(2, uint64(e.str(label)))    // name
+		fn.varintField(3, uint64(e.str(label)))    // system_name
+		fn.varintField(4, uint64(e.str(p.Module))) // filename
+		fnMsgs = append(fnMsgs, fn.b)
+
+		line := &buf{}
+		line.varintField(1, id) // function_id
+		loc := &buf{}
+		loc.varintField(1, id)    // id
+		loc.bytesField(4, line.b) // line
+		locMsgs = append(locMsgs, loc.b)
+		return id
+	}
+
+	var sampleMsgs [][]byte
+	for i := range p.Stacks {
+		ss := &p.Stacks[i]
+		// Locations are leaf-first in profile.proto.
+		var locs []uint64
+		for j := len(ss.Frames) - 1; j >= 0; j-- {
+			locs = append(locs, frameID(ss.Frames[j]))
+		}
+		s := &buf{}
+		s.packedField(1, locs)                        // location_id
+		s.packedField(2, []uint64{uint64(ss.Cycles)}) // value
+		sampleMsgs = append(sampleMsgs, s.b)
+	}
+
+	vt := &buf{}
+	vt.varintField(1, uint64(e.str("cycles"))) // type
+	vt.varintField(2, uint64(e.str("count")))  // unit
+
+	out := &buf{}
+	out.bytesField(1, vt.b) // sample_type
+	for _, s := range sampleMsgs {
+		out.bytesField(2, s) // sample
+	}
+	for _, l := range locMsgs {
+		out.bytesField(4, l) // location
+	}
+	for _, f := range fnMsgs {
+		out.bytesField(5, f) // function
+	}
+	for _, s := range e.strs {
+		out.stringField(6, s) // string_table
+	}
+	pt := &buf{}
+	pt.varintField(1, uint64(e.str("cycles")))
+	pt.varintField(2, uint64(e.str("count")))
+	out.bytesField(11, pt.b) // period_type
+	out.varintField(12, 1)   // period
+	return out.b
+}
+
+// protoEnc interns strings into the profile's string table.
+type protoEnc struct {
+	strIdx map[string]int64
+	strs   []string
+}
+
+func (e *protoEnc) str(s string) int64 {
+	// pprof rejects NUL and control garbage poorly; labels are already
+	// plain text, but normalize newlines defensively.
+	s = strings.ReplaceAll(s, "\n", " ")
+	if i, ok := e.strIdx[s]; ok {
+		return i
+	}
+	i := int64(len(e.strs))
+	e.strIdx[s] = i
+	e.strs = append(e.strs, s)
+	return i
+}
+
+// buf is a minimal protobuf wire-format writer.
+type buf struct{ b []byte }
+
+func (b *buf) varint(v uint64) {
+	for v >= 0x80 {
+		b.b = append(b.b, byte(v)|0x80)
+		v >>= 7
+	}
+	b.b = append(b.b, byte(v))
+}
+
+func (b *buf) key(field, wire int) { b.varint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField emits a varint-typed field; zero values are still
+// emitted only when meaningful — callers skip them explicitly.
+func (b *buf) varintField(field int, v uint64) {
+	b.key(field, 0)
+	b.varint(v)
+}
+
+func (b *buf) bytesField(field int, p []byte) {
+	b.key(field, 2)
+	b.varint(uint64(len(p)))
+	b.b = append(b.b, p...)
+}
+
+func (b *buf) stringField(field int, s string) { b.bytesField(field, []byte(s)) }
+
+// packedField emits a packed repeated varint field.
+func (b *buf) packedField(field int, vs []uint64) {
+	inner := &buf{}
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	b.bytesField(field, inner.b)
+}

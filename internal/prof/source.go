@@ -1,0 +1,235 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"warp/internal/obs"
+)
+
+// LineStat aggregates the cycles attributed to one W2 source line
+// across all cells.  Line 0 collects synthetic cycles with no source
+// statement (constant preamble, inter-region pad outside any loop).
+// Scheduled nops inside a loop are attributed to the loop's own for
+// statement line: they are part of that loop's schedule.
+type LineStat struct {
+	Line    int    `json:"line"`
+	Text    string `json:"text,omitempty"`
+	Busy    int64  `json:"busy"`
+	Starved int64  `json:"starved"`
+	Bubble  int64  `json:"bubble"`
+}
+
+// Total returns all cycles attributed to the line.
+func (l *LineStat) Total() int64 { return l.Busy + l.Starved + l.Bubble }
+
+// StackStat is one folded flame-graph stack: the loop-nest path from
+// the module root down to a statement, with the cycles spent there.
+type StackStat struct {
+	Frames []string `json:"frames"` // root first: module, loop frames, leaf
+	Cycles int64    `json:"cycles"`
+}
+
+// SourceProfile is a source-line hot-spot profile of one or more runs
+// of a compiled program: the join of the compiler's DebugMap with the
+// simulator's exact per-µPC counters.  The attribution is exact — the
+// per-line totals sum to the simulator's total busy+stall cycles over
+// all cells (see Attributed) — because every executed instruction
+// increments exactly one counter at its µPC and every µPC has a debug
+// map entry.
+type SourceProfile struct {
+	Module string `json:"module"`
+	Cells  int    `json:"cells"`
+	Cycles int64  `json:"cycles"` // machine run length (summed when tiles are merged)
+
+	Busy    int64 `json:"busy"`
+	Starved int64 `json:"starved"`
+	Bubble  int64 `json:"bubble"`
+
+	Lines  []LineStat  `json:"lines"`
+	Stacks []StackStat `json:"stacks"`
+}
+
+// Attributed returns the total attributed cycles — exactly the
+// simulator's busy+starved+bubble over all cells.
+func (p *SourceProfile) Attributed() int64 { return p.Busy + p.Starved + p.Bubble }
+
+// BuildSource joins a debug map with the per-cell µPC counters of one
+// run into a source-line profile.  cycles is the machine run length.
+func BuildSource(dbg *DebugMap, pc []obs.PCProfile, cycles int64) *SourceProfile {
+	p := &SourceProfile{Module: dbg.Module, Cells: len(pc), Cycles: cycles}
+	lines := map[int]*LineStat{}
+	stacks := map[string]*StackStat{}
+
+	for ci := range pc {
+		c := &pc[ci]
+		for _, info := range dbg.PCs {
+			var busy, starved, bubble int64
+			if info.PC < len(c.Busy) {
+				busy, starved, bubble = c.Busy[info.PC], c.Starved[info.PC], c.Bubble[info.PC]
+			}
+			total := busy + starved + bubble
+			if total == 0 {
+				continue
+			}
+			p.Busy += busy
+			p.Starved += starved
+			p.Bubble += bubble
+
+			// Line attribution: a scheduled nop inside a loop belongs to
+			// the loop's for statement; outside any loop it is synthetic.
+			line := info.Line
+			if line == 0 && len(info.Loops) > 0 {
+				line = info.Loops[len(info.Loops)-1].Line
+			}
+			ls := lines[line]
+			if ls == nil {
+				ls = &LineStat{Line: line, Text: dbg.LineText(line)}
+				if line == 0 {
+					ls.Text = "(preamble/pad)"
+				}
+				lines[line] = ls
+			}
+			ls.Busy += busy
+			ls.Starved += starved
+			ls.Bubble += bubble
+
+			// Flame stack: module ; loop frames ; statement leaf.
+			frames := []string{dbg.Module}
+			for _, f := range info.Loops {
+				frames = append(frames, frameLabel(fmt.Sprintf("for %s @%d", f.Var, f.Line)))
+			}
+			if info.Line != 0 {
+				text := dbg.LineText(info.Line)
+				if text == "" {
+					text = fmt.Sprintf("line %d", info.Line)
+				}
+				frames = append(frames, frameLabel(fmt.Sprintf("L%d %s", info.Line, text)))
+			} else if len(info.Loops) == 0 {
+				frames = append(frames, "(preamble/pad)")
+			}
+			key := strings.Join(frames, ";")
+			ss := stacks[key]
+			if ss == nil {
+				ss = &StackStat{Frames: frames}
+				stacks[key] = ss
+			}
+			ss.Cycles += total
+		}
+	}
+
+	for _, ls := range lines {
+		p.Lines = append(p.Lines, *ls)
+	}
+	sort.Slice(p.Lines, func(i, j int) bool { return p.Lines[i].Line < p.Lines[j].Line })
+	for _, ss := range stacks {
+		p.Stacks = append(p.Stacks, *ss)
+	}
+	sort.Slice(p.Stacks, func(i, j int) bool {
+		return strings.Join(p.Stacks[i].Frames, ";") < strings.Join(p.Stacks[j].Frames, ";")
+	})
+	return p
+}
+
+// frameLabel sanitizes a flame-graph frame: the folded format reserves
+// ';' as the stack separator.
+func frameLabel(s string) string { return strings.ReplaceAll(s, ";", ",") }
+
+// Merge accumulates another profile of the same program into p —
+// fabric tile aggregation.  Lines and stacks are matched structurally;
+// run lengths add (total machine time across tiles).
+func (p *SourceProfile) Merge(o *SourceProfile) {
+	if o == nil {
+		return
+	}
+	if p.Module == "" {
+		p.Module = o.Module
+	}
+	if o.Cells > p.Cells {
+		p.Cells = o.Cells
+	}
+	p.Cycles += o.Cycles
+	p.Busy += o.Busy
+	p.Starved += o.Starved
+	p.Bubble += o.Bubble
+
+	byLine := map[int]int{}
+	for i := range p.Lines {
+		byLine[p.Lines[i].Line] = i
+	}
+	for _, ls := range o.Lines {
+		if i, ok := byLine[ls.Line]; ok {
+			p.Lines[i].Busy += ls.Busy
+			p.Lines[i].Starved += ls.Starved
+			p.Lines[i].Bubble += ls.Bubble
+		} else {
+			byLine[ls.Line] = len(p.Lines)
+			p.Lines = append(p.Lines, ls)
+		}
+	}
+	sort.Slice(p.Lines, func(i, j int) bool { return p.Lines[i].Line < p.Lines[j].Line })
+
+	byStack := map[string]int{}
+	for i := range p.Stacks {
+		byStack[strings.Join(p.Stacks[i].Frames, ";")] = i
+	}
+	for _, ss := range o.Stacks {
+		key := strings.Join(ss.Frames, ";")
+		if i, ok := byStack[key]; ok {
+			p.Stacks[i].Cycles += ss.Cycles
+		} else {
+			byStack[key] = len(p.Stacks)
+			p.Stacks = append(p.Stacks, ss)
+		}
+	}
+	sort.Slice(p.Stacks, func(i, j int) bool {
+		return strings.Join(p.Stacks[i].Frames, ";") < strings.Join(p.Stacks[j].Frames, ";")
+	})
+}
+
+// Report renders the hot-spot table, hottest source line first.
+func (p *SourceProfile) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "source profile: %s, %d cells, %d cycles\n", p.Module, p.Cells, p.Cycles)
+	fmt.Fprintf(&sb, "attributed %d cell-cycles: %d busy, %d starved, %d bubble\n\n",
+		p.Attributed(), p.Busy, p.Starved, p.Bubble)
+	fmt.Fprintf(&sb, "%5s %10s %6s %10s %10s %10s  %s\n",
+		"line", "cycles", "%", "busy", "starved", "bubble", "source")
+
+	order := make([]LineStat, len(p.Lines))
+	copy(order, p.Lines)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Total() > order[j].Total() })
+	total := p.Attributed()
+	for i := range order {
+		ls := &order[i]
+		label := "-"
+		if ls.Line > 0 {
+			label = fmt.Sprintf("%d", ls.Line)
+		}
+		fmt.Fprintf(&sb, "%5s %10d %5.1f%% %10d %10d %10d  %s\n",
+			label, ls.Total(), pctOf(ls.Total(), total), ls.Busy, ls.Starved, ls.Bubble, ls.Text)
+	}
+	return sb.String()
+}
+
+func pctOf(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// WriteFolded writes the profile as folded flame-graph stacks — one
+// "frame;frame;frame count" line per stack, the input format of
+// flamegraph.pl and speedscope.
+func (p *SourceProfile) WriteFolded(w io.Writer) error {
+	for i := range p.Stacks {
+		ss := &p.Stacks[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(ss.Frames, ";"), ss.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"warp"
 	"warp/internal/obs"
 )
 
@@ -25,6 +26,11 @@ type RequestRecord struct {
 	// reports, against which the child spans must sum consistently.
 	TotalNS int64            `json:"total_ns"`
 	Spans   []obs.SpanRecord `json:"spans"`
+	// HasProfile flags a profiled run; the profile itself is excluded
+	// from the /debug/requests listing (it can be megabytes) and served
+	// from /debug/requests/{id}/profile instead.
+	HasProfile bool                `json:"has_profile,omitempty"`
+	Source     *warp.SourceProfile `json:"-"`
 }
 
 // flightRecorder is a fixed-size ring of the last N RequestRecords —

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"warp/internal/obs"
+	"warp/internal/prof"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, covering
@@ -88,6 +89,11 @@ type Metrics struct {
 	phaseSeconds map[string]float64
 	phaseCounts  map[string]int64
 
+	// Scheduler introspection accumulated over cache-miss compilations:
+	// modulo-scheduler and skew-search work counters from prof.SchedTotals.
+	sched      prof.SchedTotals
+	schedComps int64 // compilations folded into sched
+
 	// Aggregates over completed runs, from obs.Profile.Summarize.
 	simCycles   int64
 	addUtilSum  float64
@@ -165,6 +171,27 @@ func (m *Metrics) CompilePhases(phases []obs.PhaseStat) {
 	}
 }
 
+// CompileSched folds one compilation's scheduler work counters into
+// the warpd_sched_* aggregates.  Called beside CompilePhases on every
+// cache miss, so the series attribute compile-time cost to the
+// scheduler searches that caused it.
+func (m *Metrics) CompileSched(t prof.SchedTotals) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sched.Loops += t.Loops
+	m.sched.Pipelined += t.Pipelined
+	m.sched.Attempts += t.Attempts
+	m.sched.Placements += t.Placements
+	m.sched.Evictions += t.Evictions
+	m.sched.EmitRejects += t.EmitRejects
+	m.sched.SearchNS += t.SearchNS
+	m.sched.SkewOps += t.SkewOps
+	m.sched.SkewPairs += t.SkewPairs
+	m.sched.SkewPruned += t.SkewPruned
+	m.sched.SkewNS += t.SkewNS
+	m.schedComps++
+}
+
 // Run records one run request outcome ("ok", "error", "timeout",
 // "rejected") and, for completed runs, the latency and run summary.
 func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
@@ -229,6 +256,43 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 			fmt.Fprintf(w, "warpd_compile_phase_total{phase=%q} %d\n", name, m.phaseCounts[name])
 		}
 	}
+	fmt.Fprintf(w, "# HELP warpd_sched_compiles_total Cache-miss compilations folded into the scheduler counters.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_compiles_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_compiles_total %d\n", m.schedComps)
+	fmt.Fprintf(w, "# HELP warpd_sched_loops_total Loops seen by the cell scheduler.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_loops_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_loops_total %d\n", m.sched.Loops)
+	fmt.Fprintf(w, "# HELP warpd_sched_pipelined_total Loops that software-pipelined successfully.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_pipelined_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_pipelined_total %d\n", m.sched.Pipelined)
+	fmt.Fprintf(w, "# HELP warpd_sched_ii_attempts_total Initiation intervals tried by the modulo scheduler.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_ii_attempts_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_ii_attempts_total %d\n", m.sched.Attempts)
+	fmt.Fprintf(w, "# HELP warpd_sched_placements_total Operation placements tried across all scheduling attempts.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_placements_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_placements_total %d\n", m.sched.Placements)
+	fmt.Fprintf(w, "# HELP warpd_sched_evictions_total Modulo-table evictions (placement conflicts undone).\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_evictions_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_evictions_total %d\n", m.sched.Evictions)
+	fmt.Fprintf(w, "# HELP warpd_sched_emit_rejects_total Schedules rejected at microcode emission.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_emit_rejects_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_emit_rejects_total %d\n", m.sched.EmitRejects)
+	fmt.Fprintf(w, "# HELP warpd_sched_search_seconds_total Wall-clock time inside the modulo-schedule search.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_search_seconds_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_search_seconds_total %s\n", formatFloat(float64(m.sched.SearchNS)/1e9))
+	fmt.Fprintf(w, "# HELP warpd_sched_skew_ops_total Dynamic operations enumerated by exact skew searches.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_skew_ops_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_skew_ops_total %d\n", m.sched.SkewOps)
+	fmt.Fprintf(w, "# HELP warpd_sched_skew_pairs_total Statement pairs analyzed by the skew bound.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_skew_pairs_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_skew_pairs_total %d\n", m.sched.SkewPairs)
+	fmt.Fprintf(w, "# HELP warpd_sched_skew_pruned_total Statement pairs pruned before analysis.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_skew_pruned_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_skew_pruned_total %d\n", m.sched.SkewPruned)
+	fmt.Fprintf(w, "# HELP warpd_sched_skew_seconds_total Wall-clock time inside the skew search.\n")
+	fmt.Fprintf(w, "# TYPE warpd_sched_skew_seconds_total counter\n")
+	fmt.Fprintf(w, "warpd_sched_skew_seconds_total %s\n", formatFloat(float64(m.sched.SkewNS)/1e9))
+
 	fmt.Fprintf(w, "# HELP warpd_run_seconds Run request service time.\n")
 	m.runLatency.write(w, "warpd_run_seconds")
 

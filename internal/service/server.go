@@ -113,6 +113,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/requests/{id}/profile", s.handleDebugProfile)
 	return s
 }
 
@@ -180,6 +181,11 @@ type RunRequest struct {
 	TimeoutMS int64                `json:"timeout_ms,omitempty"`
 	MaxCycles int64                `json:"max_cycles,omitempty"`
 	Partition *PartitionJSON       `json:"partition,omitempty"`
+	// Profile turns on per-µPC counter collection for this run; the
+	// source-line profile is then downloadable from
+	// GET /debug/requests/{id}/profile while the request stays in the
+	// flight recorder.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // PartitionJSON describes the oversized problem a partitioned run
@@ -226,13 +232,15 @@ type RunStatsJSON struct {
 }
 
 // RunResponse carries the outputs and statistics of one run.  Fabric
-// is set only for partitioned runs.
+// is set only for partitioned runs; Request names the flight record a
+// profiled run's download URL is built from.
 type RunResponse struct {
 	Program string               `json:"program"`
 	Cached  bool                 `json:"cached"`
 	Outputs map[string][]float64 `json:"outputs"`
 	Stats   RunStatsJSON         `json:"stats"`
 	Fabric  *FabricJSON          `json:"fabric,omitempty"`
+	Request string               `json:"request,omitempty"`
 }
 
 // BatchRequest runs several requests through the pool concurrently.
@@ -380,6 +388,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Compile(cacheResult(hit), time.Since(start).Seconds())
 	if !hit {
 		s.metrics.CompilePhases(prog.Phases())
+		s.metrics.CompileSched(prog.Sched().Totals())
 	}
 	s.finishRequest(rc, nil)
 	resp := CompileResponse{
@@ -439,6 +448,7 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	rc.program, rc.cached = key, hit
 	if !hit {
 		s.metrics.CompilePhases(prog.Phases())
+		s.metrics.CompileSched(prog.Sched().Totals())
 	}
 
 	maxCycles := s.cfg.MaxCycles
@@ -456,7 +466,11 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 		queueSpan.End() // admitted: the wait is over
 		runSpan := rc.tr.StartSpan("run", rc.root)
 		defer runSpan.End()
-		out, rs, err := prog.RunWith(warp.RunConfig{Context: ctx, MaxCycles: maxCycles}, req.Inputs)
+		out, rs, err := prog.RunWith(warp.RunConfig{
+			Context:   ctx,
+			MaxCycles: maxCycles,
+			Profile:   req.Profile,
+		}, req.Inputs)
 		if err != nil {
 			runSpan.Annotate("error", err.Error())
 			return err
@@ -464,10 +478,12 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 		sum := rs.Profile.Summarize()
 		runSpan.AttachSummary(sum)
 		rc.cycles = rs.Cycles
+		rc.source = rs.Source
 		resp = &RunResponse{
 			Program: key,
 			Cached:  hit,
 			Outputs: out,
+			Request: rc.id,
 			Stats: RunStatsJSON{
 				Cycles:         rs.Cycles,
 				MaxQueue:       rs.MaxQueue,
@@ -568,6 +584,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			Arrays:       arrays,
 			TileRetries:  retries,
 			TileDeadline: time.Duration(req.Partition.TileDeadlineMS) * time.Millisecond,
+			Profile:      req.Profile,
 		}, prob)
 		if fs != nil {
 			runSpan.Annotate("tiles", fmt.Sprint(fs.Tiles))
@@ -586,10 +603,12 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			return err
 		}
 		rc.cycles = fs.AggregateCycles
+		rc.source = fs.Source
 		resp = &RunResponse{
 			Program: key,
 			Cached:  hit,
 			Outputs: out,
+			Request: rc.id,
 			Stats: RunStatsJSON{
 				Cycles:         fs.MakespanCycles,
 				MaxQueue:       fs.PeakQueue,

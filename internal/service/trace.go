@@ -24,6 +24,7 @@ type requestCtx struct {
 	program  string // content address, once resolved
 	cached   bool
 	cycles   int64
+	source   *warp.SourceProfile // set when the request ran with profiling
 }
 
 // beginRequest assigns a request ID and opens the root span.  When the
@@ -71,6 +72,10 @@ func (s *Server) finishRequest(rc *requestCtx, err error) {
 		Cycles:   rc.cycles,
 		TotalNS:  total,
 		Spans:    spans,
+	}
+	if rc.source != nil {
+		rec.HasProfile = true
+		rec.Source = rc.source
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -172,4 +177,38 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".trace.json"))
 	_ = obs.WriteChromeSpans(w, rec.Spans)
+}
+
+// handleDebugProfile serves one profiled request's source-line cycle
+// profile.  The default download is a gzipped pprof protobuf (feed it
+// straight to `go tool pprof`); ?format=text returns the hot-spot
+// report and ?format=folded the flame-graph stack lines.
+func (s *Server) handleDebugProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.flight.get(id)
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no recorded request %q", id)})
+		return
+	}
+	if rec.Source == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("request %q was not profiled; rerun with \"profile\": true", id)})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".pprof.pb.gz"))
+		_ = rec.Source.WritePprof(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rec.Source.Report())
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".folded"))
+		_ = rec.Source.WriteFolded(w)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("unknown profile format %q (want pprof, text or folded)", format)})
+	}
 }

@@ -115,11 +115,17 @@ func (c *cell) account(m *machine, in *mcode.Instr, depth int) {
 	if in.Empty() {
 		if c.inX.len() == 0 && c.inY.len() == 0 {
 			c.starved++
+			if c.pc != nil {
+				c.pc.Starved[in.PC]++
+			}
 			if m.trace {
 				m.rec.Stall(m.now, c.idx, obs.StallQueueEmpty)
 			}
 		} else {
 			c.bubble++
+			if c.pc != nil {
+				c.pc.Bubble[in.PC]++
+			}
 			if m.trace {
 				m.rec.Stall(m.now, c.idx, obs.StallBubble)
 			}
@@ -127,6 +133,9 @@ func (c *cell) account(m *machine, in *mcode.Instr, depth int) {
 		return
 	}
 	c.busy++
+	if c.pc != nil {
+		c.pc.Busy[in.PC]++
+	}
 	if m.trace {
 		if in.Add != nil {
 			m.rec.Issue(m.now, c.idx, obs.UnitAdd)

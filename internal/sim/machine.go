@@ -50,6 +50,13 @@ type Config struct {
 	// per-cycle cost is then a single cached-bool branch per hook, and
 	// the aggregate Stats.Obs profile is collected either way.
 	Recorder obs.Recorder
+	// PCStats enables exact per-µPC cycle attribution: every executed
+	// instruction increments one busy/starved/bubble counter at its
+	// static µprogram address (mcode.AssignPCs must have run on Cell,
+	// which the compiler driver guarantees).  The counters land in
+	// Stats.Obs.PC.  Off by default — the hot-path cost when off is one
+	// nil check per cycle per cell.
+	PCStats bool
 }
 
 // Stats reports the outcome of a run.
@@ -112,6 +119,10 @@ type cell struct {
 	nLoads, nStores        int64
 	busy, starved, bubble  int64
 	depth                  []obs.DepthProfile
+
+	// pc holds the exact per-µPC counters when Config.PCStats is set;
+	// nil otherwise (the account hot path tests the pointer once).
+	pc *obs.PCProfile
 }
 
 type regWrite struct {
@@ -194,6 +205,14 @@ func Run(cfg Config) (*Stats, error) {
 			sig:   newQueue[sigItem](fmt.Sprintf("cell%d.Sig", i), i, obs.NumQueues, mcode.QueueDepth),
 			depth: make([]obs.DepthProfile, 4),
 		}
+		if cfg.PCStats {
+			n := cfg.Cell.NumInstrs()
+			c.pc = &obs.PCProfile{
+				Busy:    make([]int64, n),
+				Starved: make([]int64, n),
+				Bubble:  make([]int64, n),
+			}
+		}
 		m.cells = append(m.cells, c)
 	}
 	if m.trace {
@@ -262,6 +281,9 @@ func (m *machine) fillStats(stats *Stats) {
 			Depth:    c.depth,
 		}
 		prof.Queues = append(prof.Queues, c.inX.profile(), c.inY.profile(), c.adr.profile())
+		if c.pc != nil {
+			prof.PC = append(prof.PC, *c.pc)
+		}
 	}
 	stats.Obs = prof
 	stats.MaxQueue, stats.MaxQueueAt = prof.MaxQueue()

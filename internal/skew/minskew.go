@@ -264,32 +264,51 @@ func MinSkewBound(out, in *Prog, mode BoundMode) (Rat, []PairBound, error) {
 	return best, pairs, nil
 }
 
+// SearchStats describes how MinSkew arrived at its answer — which
+// method ran and how large the search space was.  The profiler exports
+// it so the skew phase's cost can be identified from data.
+type SearchStats struct {
+	Method string // "exact" or "bound"
+	Ops    int64  // dynamic I/O operations enumerated (exact method)
+	Pairs  int64  // statement pairs analyzed in detail (bound method)
+	Pruned int64  // pairs skipped by the coarse branch-and-bound prefilter
+}
+
 // MinSkew returns the skew the compiler applies between adjacent cells:
 // the exact minimum when the I/O volume is small enough to enumerate,
 // otherwise the ceiling of the pairwise bound, clamped to ≥ 0.
 func MinSkew(out, in *Prog) (int64, error) {
+	s, _, err := MinSkewStats(out, in)
+	return s, err
+}
+
+// MinSkewStats is MinSkew plus search-space statistics.
+func MinSkewStats(out, in *Prog) (int64, SearchStats, error) {
 	const enumLimit = 1 << 20
 	co, ci := out.Count(Output), in.Count(Input)
 	if co != ci {
-		return 0, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", co, ci)
+		return 0, SearchStats{}, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", co, ci)
 	}
 	if co <= enumLimit {
+		st := SearchStats{Method: "exact", Ops: co + ci}
 		s, err := MinSkewExact(out, in)
 		if err != nil {
-			return 0, err
+			return 0, st, err
 		}
 		if s < 0 {
 			s = 0
 		}
-		return s, nil
+		return s, st, nil
 	}
-	b, _, err := MinSkewBound(out, in, BoundPaper)
+	b, pairs, err := MinSkewBound(out, in, BoundPaper)
 	if err != nil {
-		return 0, err
+		return 0, SearchStats{Method: "bound"}, err
 	}
+	total := int64(len(Statements(out, Output))) * int64(len(Statements(in, Input)))
+	st := SearchStats{Method: "bound", Pairs: int64(len(pairs)), Pruned: total - int64(len(pairs))}
 	s := b.Ceil()
 	if s < 0 {
 		s = 0
 	}
-	return s, nil
+	return s, st, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"warp/internal/driver"
 	"warp/internal/fabric"
+	"warp/internal/prof"
 )
 
 // Problem is an oversized workload for RunPartitioned — one whose
@@ -72,6 +73,7 @@ func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]floa
 			Ctx:       ctx,
 			Recorder:  p.rec,
 			MaxCycles: cfg.MaxCycles,
+			Profile:   cfg.Profile,
 		})
 		if err != nil {
 			return nil, fabric.TileStats{}, err
@@ -79,6 +81,9 @@ func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]floa
 		ts := fabric.TileStats{Cycles: stats.Cycles}
 		if stats.Obs != nil {
 			ts.Summary = stats.Obs.Summarize()
+			if cfg.Profile {
+				ts.Source = prof.BuildSource(p.c.Debug, stats.Obs.PC, stats.Cycles)
+			}
 		}
 		return out[pl.OutName()], ts, nil
 	}

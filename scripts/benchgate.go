@@ -2,7 +2,10 @@
 // committed BENCH_*.json baseline and fails on regressions in the
 // deterministic counters (simulated cycles, µcode sizes, skew, and
 // the fabric's tile counts, aggregate and makespan cycles).
-// Wall-clock drift only warns — hosts differ.
+// Wall-clock drift only warns — hosts differ.  Compile experiments
+// additionally carry per-phase wall times: a phase whose median grew
+// past bench.CompileDriftFactor (2×) draws a warning naming the phase,
+// so a scheduler search blowup is attributed, not just noticed.
 //
 // Usage:
 //

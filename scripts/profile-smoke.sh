@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Profiler smoke test: compile and run a workload with profiling on,
+# then prove the exports are usable by real tooling — the pprof file
+# must round-trip through `go tool pprof -top` and the folded file
+# must parse as "frame[;frame...] count" lines.  CI uploads the
+# artifacts so a red run can be inspected.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-profile-artifacts}"
+mkdir -p "$out"
+
+echo "== warpsim -profile -flame -pprof (pipelined polynomial)"
+go run ./cmd/warpsim -pipeline -profile \
+  -flame "$out/poly.folded" -pprof "$out/poly.pb.gz" \
+  polynomial | tee "$out/poly.profile.txt"
+
+grep -q "source profile: polynomial" "$out/poly.profile.txt"
+grep -q "scheduler: " "$out/poly.profile.txt"
+
+echo "== pprof round-trip"
+go tool pprof -top "$out/poly.pb.gz" | tee "$out/poly.pprof-top.txt"
+grep -q "cycles" "$out/poly.pprof-top.txt"
+
+echo "== folded stacks parse"
+awk '
+  NF < 2 { print "bad folded line " NR ": " $0; exit 1 }
+  $NF !~ /^[0-9]+$/ { print "non-numeric count on line " NR ": " $0; exit 1 }
+  $0 !~ /;/ { print "no stack separator on line " NR ": " $0; exit 1 }
+  { sum += $NF }
+  END { if (sum <= 0) { print "folded counts sum to " sum; exit 1 }
+        print "ok: " NR " stacks, " sum " cell-cycles" }
+' "$out/poly.folded"
+
+echo "== fabric aggregate profile (partitioned matmul)"
+go run ./cmd/warpsim -arrays 2 -profile -pprof "$out/fabric.pb.gz" \
+  examples/fabric/matmul48.json | tee "$out/fabric.profile.txt"
+grep -q "source profile: " "$out/fabric.profile.txt"
+go tool pprof -top "$out/fabric.pb.gz" >/dev/null
+
+echo "profile-smoke: PASS"

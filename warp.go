@@ -32,6 +32,7 @@ import (
 	"warp/internal/driver"
 	"warp/internal/interp"
 	"warp/internal/obs"
+	"warp/internal/prof"
 	"warp/internal/sim"
 	"warp/internal/skew"
 	"warp/internal/verify"
@@ -120,7 +121,28 @@ type RunStats struct {
 	// backpressure, and the compiler's per-phase timing.  Its
 	// UtilizationReport method renders the §7-style per-cell table.
 	Profile *obs.Profile
+	// Source is the source-line cycle profile — every busy and stall
+	// cycle of every cell attributed exactly to a W2 source line and
+	// loop-nest path.  Only filled when RunConfig.Profile was set; see
+	// SourceProfile for the export formats (text report, folded flame
+	// stacks, pprof protobuf).
+	Source *SourceProfile
 }
+
+// SourceProfile is a source-line hot-spot profile of a run: exact
+// per-line busy/starved/bubble cycle totals plus folded flame-graph
+// stacks.  Render it with Report, WriteFolded or WritePprof (the
+// latter is viewable with `go tool pprof`).
+type SourceProfile = prof.SourceProfile
+
+// SchedProfile is the compiler-introspection record: per-loop modulo
+// scheduling counters (II search attempts, candidate placements,
+// evictions) and per-channel skew search-space sizes.
+type SchedProfile = prof.SchedProfile
+
+// DebugMap is the compiler-emitted mapping from µinstruction addresses
+// back to W2 source lines and loop-nest paths.
+type DebugMap = prof.DebugMap
 
 // RunConfig controls one execution of a compiled program.  The zero
 // value is Run's behaviour: run to completion with the default livelock
@@ -135,6 +157,13 @@ type RunConfig struct {
 	// MaxCycles overrides the runaway-simulation guard (0 keeps the
 	// default of 1<<28 cycles).  On overrun the error wraps ErrLivelock.
 	MaxCycles int64
+	// Profile enables exact per-µPC cycle attribution in the simulator
+	// and fills RunStats.Source with the source-line profile (and, for
+	// RunPartitioned, FabricStats.Source with the per-tile aggregate).
+	// The attribution is exact, not sampled: per cell, the per-line
+	// totals sum to busy+starved+bubble.  Off by default; when off the
+	// simulator's only extra cost is a nil check per cycle per cell.
+	Profile bool
 
 	// The remaining fields configure RunPartitioned only; the
 	// single-array Run variants ignore them.
@@ -200,6 +229,7 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 		Ctx:       cfg.Context,
 		Recorder:  rec,
 		MaxCycles: cfg.MaxCycles,
+		Profile:   cfg.Profile,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -214,8 +244,32 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 		rs.AddUtilization = float64(stats.AddOps) / float64(stats.CellActive)
 		rs.MulUtilization = float64(stats.MulOps) / float64(stats.CellActive)
 	}
+	if cfg.Profile && stats.Obs != nil {
+		rs.Source = prof.BuildSource(p.c.Debug, stats.Obs.PC, stats.Cycles)
+	}
 	return out, rs, nil
 }
+
+// SourceProfile compiles-and-runs in one call: it executes the program
+// with profiling enabled and returns the source-line cycle profile.
+func (p *Program) SourceProfile(inputs map[string][]float64) (*SourceProfile, error) {
+	_, rs, err := p.RunWith(RunConfig{Profile: true}, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Source, nil
+}
+
+// DebugMap returns the compiler's µPC → source mapping for this
+// program.
+func (p *Program) DebugMap() *DebugMap { return p.c.Debug }
+
+// Sched returns the compiler-introspection record of this program's
+// compilation: modulo-scheduling and skew-search counters.
+func (p *Program) Sched() *SchedProfile { return p.c.Sched }
+
+// SchedReport renders the scheduler-introspection record as text.
+func (p *Program) SchedReport() string { return p.c.Sched.Report() }
 
 // Interpret executes the program under the reference interpreter (the
 // programmer's model semantics, no compilation), for validating
