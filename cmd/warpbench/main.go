@@ -8,7 +8,7 @@
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
 // table6-4, table6-5, table7-1, throughput, utilization, hotspot,
-// varskew, fabric, all (default).
+// varskew, fabric, fastexec, all (default).
 //
 // With -json, warpbench instead runs the machine-readable benchmark
 // suite (internal/bench) and writes every experiment's cycle counts,
@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -75,10 +76,11 @@ func main() {
 		"hotspot":     hotspot,
 		"varskew":     varskew,
 		"fabric":      fabricScaling,
+		"fastexec":    fastexec,
 	}
 	names := []string{"fig3-1", "fig4-2", "fig5-1", "table6-1", "table6-2",
 		"table6-3", "table6-4", "table6-5", "table7-1", "throughput",
-		"utilization", "hotspot", "varskew", "fabric"}
+		"utilization", "hotspot", "varskew", "fabric", "fastexec"}
 
 	run := func(name string) {
 		fmt.Printf("==================== %s ====================\n", name)
@@ -601,6 +603,73 @@ func fabricScaling() error {
 	fmt.Printf("%d tiles, aggregate %d cyc, makespan %d cyc, speedup %.2fx, wall %s\n",
 		fs.Tiles, fs.AggregateCycles, fs.MakespanCycles, fs.Speedup,
 		time.Duration(fs.WallNS).Round(time.Microsecond))
+	return nil
+}
+
+// fastexec pits the two execution backends against each other on
+// verified matmuls: the cycle-accurate simulator interprets every cell
+// every cycle, while the fast dataflow executor replays the verifier's
+// proven schedule over host slices and reports the same closed-form
+// cycle count.  The experiment hard-fails unless outputs are
+// bit-identical and modeled cycles agree exactly; the wall speedup is
+// the number the BENCH_7.json gate holds above 5× on the 32×32 case.
+func fastexec() error {
+	const iters = 3
+	fmt.Println("verified matmul on both backends (outputs bit-checked, cycles must agree):")
+	fmt.Printf("%-10s %10s %12s %12s %10s\n", "size", "cycles", "sim wall", "fast wall", "speedup")
+	for _, n := range []int{16, 24, 32} {
+		prog, err := warp.Compile(workloads.Matmul(n), warp.Options{Pipeline: *pipeline, Verify: true})
+		if err != nil {
+			return fmt.Errorf("matmul%d: %w", n, err)
+		}
+		inputs := map[string][]float64{
+			"a":    make([]float64, n*n),
+			"bmat": make([]float64, n*n),
+		}
+		for i := range inputs["a"] {
+			inputs["a"][i] = float64(i%13)/4 - 1.5
+			inputs["bmat"][i] = float64((i*7)%11)/8 - 0.5
+		}
+		run := func(backend string) (map[string][]float64, *warp.RunStats, time.Duration, error) {
+			best := time.Duration(1<<62 - 1)
+			var out map[string][]float64
+			var rs *warp.RunStats
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				o, r, err := prog.RunWith(warp.RunConfig{Backend: backend}, inputs)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if el := time.Since(start); el < best {
+					best = el
+				}
+				out, rs = o, r
+			}
+			return out, rs, best, nil
+		}
+		simOut, simRS, simWall, err := run(warp.BackendSim)
+		if err != nil {
+			return fmt.Errorf("matmul%d sim: %w", n, err)
+		}
+		fastOut, fastRS, fastWall, err := run(warp.BackendFast)
+		if err != nil {
+			return fmt.Errorf("matmul%d fast: %w", n, err)
+		}
+		if simRS.Cycles != fastRS.Cycles {
+			return fmt.Errorf("matmul%d: cycle divergence: sim %d, fast %d", n, simRS.Cycles, fastRS.Cycles)
+		}
+		for i := range simOut["c"] {
+			if math.Float64bits(simOut["c"][i]) != math.Float64bits(fastOut["c"][i]) {
+				return fmt.Errorf("matmul%d: c[%d] diverged: sim %v, fast %v",
+					n, i, simOut["c"][i], fastOut["c"][i])
+			}
+		}
+		fmt.Printf("%-10s %10d %12s %12s %9.1fx\n", fmt.Sprintf("%dx%d", n, n),
+			simRS.Cycles, simWall.Round(time.Microsecond), fastWall.Round(time.Microsecond),
+			float64(simWall)/float64(fastWall))
+	}
+	fmt.Printf("\n(gate: bench.FastexecSpeedupFloor holds the 32x32 speedup above %.0fx in BENCH_7.json)\n",
+		bench.FastexecSpeedupFloor)
 	return nil
 }
 

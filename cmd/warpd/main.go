@@ -14,8 +14,17 @@
 //	POST /compile  {"source": "...", "options": {"pipeline": true}}
 //	               -> {"program": "<content address>", "cached": bool, ...}
 //	POST /run      {"program": "<addr>" | "source": "...",
-//	                "inputs": {"z": [...]}, "timeout_ms": 1000}
-//	               -> {"outputs": {...}, "stats": {...}}
+//	                "inputs": {"z": [...]}, "timeout_ms": 1000,
+//	                "backend": "auto"|"sim"|"fast"}
+//	               -> {"outputs": {...}, "stats": {"backend": "fast", ...}}
+//	               "backend" picks the executor: "auto" (default) runs
+//	               verified programs on the fast dataflow executor and
+//	               everything else on the cycle-accurate simulator;
+//	               "fast" demands the fast executor and returns a
+//	               structured 422 (with a hint) when the program is not
+//	               verified — e.g. under -no-verify — instead of
+//	               silently simulating.  Per-backend run counts export
+//	               as warpd_backend_runs_total{backend=...}.
 //	POST /batch    {"requests": [<run request>, ...]}
 //	GET  /metrics  Prometheus text format
 //	GET  /healthz  liveness

@@ -68,6 +68,7 @@ type fabricFlags struct {
 	maxCycles int64
 	seed      int64
 	check     bool
+	backend   string
 	statsJSON string
 
 	// profile enables per-tile µPC profiling (the farm merges tiles into
@@ -128,7 +129,7 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 		fail(fmt.Errorf("unknown workload %q (want matmul or conv1d)", spec.Workload))
 	}
 
-	prog, err := warp.Compile(kernelSrc, warp.Options{Pipeline: f.pipeline})
+	prog, err := compileFor(kernelSrc, warp.Options{Pipeline: f.pipeline}, f.backend, false)
 	if err != nil {
 		fail(err)
 	}
@@ -139,6 +140,7 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 		TileDeadline: f.deadline,
 		TileRetries:  f.retries,
 		Profile:      f.profile,
+		Backend:      f.backend,
 	}, prob)
 	if err != nil {
 		var te *warp.TileError
@@ -150,8 +152,8 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 	}
 	wallNS := int64(time.Since(runStart))
 	m := prog.Metrics()
-	fmt.Printf("fabric %s: %d tiles on %d arrays (%d-cell kernel, skew %d)\n",
-		spec.Workload, fs.Tiles, fs.Arrays, m.Cells, m.Skew)
+	fmt.Printf("fabric %s: %d tiles on %d arrays (%d-cell kernel, skew %d, %s backend)\n",
+		spec.Workload, fs.Tiles, fs.Arrays, m.Cells, m.Skew, fs.Backend)
 	fmt.Printf("dispatched %d, retried %d, failed %d; staged %d host words\n",
 		fs.Dispatched, fs.Retried, fs.Failed, fs.StagedWords)
 	fmt.Printf("aggregate %d cycles, makespan %d cycles, modeled speedup %.2fx, wall %s\n",

@@ -4,9 +4,11 @@
 // Usage:
 //
 //	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
+//	        [-backend auto|sim|fast] [-crosscheck]
 //	        [-check] [-trace out.json] [-stats] [-stats-json out.json]
 //	        [-max-cycles n] program.w2
-//	warpsim -arrays n [-check] [-tile-retries n] [-tile-deadline d]
+//	warpsim -arrays n [-backend auto|sim|fast] [-check]
+//	        [-tile-retries n] [-tile-deadline d]
 //	        [-stats-json out.json] problem.json
 //
 // The program argument is a W2 source file, or the name of a built-in
@@ -28,6 +30,17 @@
 // number arrays; missing arrays (or all of them, without -inputs) are
 // filled with seeded random values.  With -check the simulated outputs
 // are compared against the reference interpreter.
+//
+// Backends: -backend picks the executor.  "auto" (the default)
+// verifies the program and runs it on the fast dataflow executor —
+// cycle counts come from the verifier's closed-form model — falling
+// back to the cycle-accurate simulator when verification rejects or
+// per-cycle observability (-trace, -profile, -flame, -pprof) is
+// requested.  "sim" forces simulation; "fast" demands the fast
+// executor and fails on an unverifiable program.  -crosscheck runs the
+// program on BOTH backends and fails unless the outputs are
+// bit-identical and the cycle counts exactly equal, then reports the
+// wall-clock speedup.
 //
 // Observability: -trace writes a Chrome trace-event JSON file (load it
 // at https://ui.perfetto.dev — one track per cell, functional unit and
@@ -64,6 +77,7 @@ import (
 
 	"warp"
 	"warp/internal/bench"
+	"warp/internal/verify"
 	"warp/internal/workloads"
 )
 
@@ -85,6 +99,8 @@ func main() {
 		profile   = flag.Bool("profile", false, "record the exact source-line cycle profile and print the hot-spot and scheduler reports")
 		flamePath = flag.String("flame", "", "write the profile as folded flame-graph stacks (implies profiling)")
 		pprofPath = flag.String("pprof", "", "write the profile as gzipped pprof protobuf for `go tool pprof` (implies profiling)")
+		backend   = flag.String("backend", "auto", "execution backend: auto (fast for verified programs), sim, or fast")
+		crossFlag = flag.Bool("crosscheck", false, "run on both backends and fail unless outputs are bit-identical and cycles exactly equal")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -109,10 +125,14 @@ func main() {
 		if traceFile != nil {
 			fail(fmt.Errorf("-trace applies to single-array runs, not fabric problem specs"))
 		}
+		if *crossFlag {
+			fail(fmt.Errorf("-crosscheck applies to single-array runs, not fabric problem specs"))
+		}
 		runFabric(spec, fabricFlags{
 			pipeline: *pipeline, arrays: *arrays, retries: *tileRetry,
 			deadline: *tileDL, maxCycles: *maxCycles, seed: *seed,
 			check: *check, profile: profiling, printProfile: *profile,
+			backend: *backend,
 			statsJSON: *statsJSON, statsFile: statsFile,
 			flameFile: flameFile, flamePath: *flamePath,
 			pprofFile: pprofFile, pprofPath: *pprofPath, outFile: outFile,
@@ -123,7 +143,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	prog, err := warp.Compile(src, warp.Options{Pipeline: *pipeline, Cells: *cells})
+	prog, err := compileFor(src, warp.Options{Pipeline: *pipeline, Cells: *cells}, *backend, *crossFlag)
 	if err != nil {
 		fail(err)
 	}
@@ -140,11 +160,16 @@ func main() {
 	}
 	fillRandom(prog, inputs, *seed)
 
-	runCfg := warp.RunConfig{MaxCycles: *maxCycles, Profile: profiling}
+	runCfg := warp.RunConfig{MaxCycles: *maxCycles, Profile: profiling, Backend: *backend}
 	var out map[string][]float64
 	var rstats *warp.RunStats
 	runStart := time.Now()
-	if traceFile != nil {
+	if *crossFlag {
+		if traceFile != nil || profiling {
+			fail(fmt.Errorf("-crosscheck needs both backends plain; drop -trace/-profile/-flame/-pprof"))
+		}
+		out, rstats = runCrossCheck(prog, inputs, *maxCycles)
+	} else if traceFile != nil {
 		out, rstats, err = prog.RunTracedWith(runCfg, inputs, traceFile)
 		if cerr := traceFile.Close(); err == nil && cerr != nil {
 			err = cerr
@@ -227,6 +252,75 @@ func main() {
 			}
 		}
 	}
+}
+
+// compileFor compiles src for the chosen backend.  fast and auto want
+// a verified program; auto degrades gracefully (an unverifiable
+// program compiles plain and runs on the simulator) while fast and
+// -crosscheck surface the verification rejection outright.  A plain
+// sim run without -crosscheck skips verification entirely.
+func compileFor(src string, opts warp.Options, backend string, crosscheck bool) (*warp.Program, error) {
+	switch backend {
+	case "", warp.BackendAuto, warp.BackendFast:
+	case warp.BackendSim:
+		if !crosscheck {
+			return warp.Compile(src, opts)
+		}
+	default:
+		return nil, fmt.Errorf("bad -backend %q (want auto, sim or fast)", backend)
+	}
+	vopts := opts
+	vopts.Verify = true
+	prog, err := warp.Compile(src, vopts)
+	if err != nil && backend != warp.BackendFast && !crosscheck && isVerifyError(err) {
+		return warp.Compile(src, opts)
+	}
+	return prog, err
+}
+
+func isVerifyError(err error) bool {
+	var verr *verify.Error
+	return errors.As(err, &verr)
+}
+
+// runCrossCheck executes the program on both backends and fails unless
+// they agree bit for bit: identical output words, exactly equal cycle
+// counts.  It returns the fast run's results and prints the measured
+// wall-clock speedup.
+func runCrossCheck(prog *warp.Program, inputs map[string][]float64, maxCycles int64) (map[string][]float64, *warp.RunStats) {
+	simStart := time.Now()
+	simOut, simStats, err := prog.RunWith(warp.RunConfig{MaxCycles: maxCycles, Backend: warp.BackendSim}, inputs)
+	if err != nil {
+		failRun(fmt.Errorf("crosscheck (sim): %w", err), maxCycles)
+	}
+	simWall := time.Since(simStart)
+	fastStart := time.Now()
+	fastOut, fastStats, err := prog.RunWith(warp.RunConfig{MaxCycles: maxCycles, Backend: warp.BackendFast}, inputs)
+	if err != nil {
+		failRun(fmt.Errorf("crosscheck (fast): %w", err), maxCycles)
+	}
+	fastWall := time.Since(fastStart)
+
+	if fastStats.Cycles != simStats.Cycles {
+		fail(fmt.Errorf("crosscheck: cycle counts diverge: fast %d, sim %d", fastStats.Cycles, simStats.Cycles))
+	}
+	words := 0
+	for name, sv := range simOut {
+		fv := fastOut[name]
+		if len(fv) != len(sv) {
+			fail(fmt.Errorf("crosscheck: %s has %d fast values, %d sim values", name, len(fv), len(sv)))
+		}
+		for i := range sv {
+			if math.Float64bits(fv[i]) != math.Float64bits(sv[i]) {
+				fail(fmt.Errorf("crosscheck: %s[%d] diverges: fast %v, sim %v", name, i, fv[i], sv[i]))
+			}
+		}
+		words += len(sv)
+	}
+	speedup := float64(simWall) / float64(fastWall)
+	fmt.Printf("crosscheck: backends agree — %d cycles, %d output words bit-identical; wall sim %s, fast %s (%.1fx)\n",
+		simStats.Cycles, words, simWall.Round(time.Microsecond), fastWall.Round(time.Microsecond), speedup)
+	return fastOut, fastStats
 }
 
 // loadSource reads the W2 file, falling back to a built-in workload

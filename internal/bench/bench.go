@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -52,7 +53,7 @@ type PhaseWall struct {
 // utilization fractions and Wall are informational.
 type Experiment struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // "compile" or "run"
+	Kind string `json:"kind"` // "compile", "run", "fabric" or "fastexec"
 
 	Cells     int   `json:"cells,omitempty"`
 	Skew      int64 `json:"skew,omitempty"`
@@ -77,6 +78,16 @@ type Experiment struct {
 	Speedup   float64 `json:"speedup,omitempty"`
 
 	Wall *Wall `json:"wall,omitempty"`
+
+	// Fastexec (backend-comparison) records.  Wall and Speedup describe
+	// the fast dataflow executor; SimWall is the cycle-accurate
+	// simulator's wall time on the identical verified program and
+	// inputs, so Speedup = SimWall.Min / Wall.Min (minima approximate
+	// the noise floor, keeping the gated ratio robust to load spikes).
+	// Cycles is the shared count both backends must report — Run errors
+	// out before emitting the record if they disagree on cycles or any
+	// output bit.
+	SimWall *Wall `json:"sim_wall,omitempty"`
 
 	// Compile-kind extras (additive, schema version unchanged).
 	// CompilePhases records per-phase wall times so compile-time
@@ -258,6 +269,24 @@ func zeroInputs(prog *warp.Program) map[string][]float64 {
 	return in
 }
 
+// variedInputs builds deterministic non-zero input arrays so the
+// fastexec backend comparison checks real arithmetic bit patterns, not
+// just zero propagation.  (Timing is input-independent either way.)
+func variedInputs(prog *warp.Program) map[string][]float64 {
+	in := map[string][]float64{}
+	for _, p := range prog.Params() {
+		if p.Out {
+			continue
+		}
+		v := make([]float64, p.Size)
+		for i := range v {
+			v[i] = float64(i%17)/8 - 1.0
+		}
+		in[p.Name] = v
+	}
+	return in
+}
+
 // wallStats reduces per-iteration wall times to the Wall record.
 func wallStats(durs []time.Duration) *Wall {
 	sorted := append([]time.Duration(nil), durs...)
@@ -361,13 +390,94 @@ func Run(iters int) (*Report, error) {
 		rep.Experiments = append(rep.Experiments,
 			FromFabric("fabric/"+fc.name, prog.Metrics(), fs, wallStats(durs)))
 	}
+
+	if ex, err := runFastexec(iters); err != nil {
+		return nil, err
+	} else {
+		rep.Experiments = append(rep.Experiments, ex)
+	}
 	return rep, nil
+}
+
+// runFastexec benchmarks the two execution backends against each other
+// on one verified workload: a 32×32 matmul, large enough that the
+// simulator's per-cycle interpretation dominates and the fast dataflow
+// executor's advantage is well clear of the FastexecSpeedupFloor gate
+// (the list-scheduled variant is used deliberately — its longer
+// schedule costs the simulator proportionally but the dataflow
+// executor barely at all, holding a ~2× margin over the floor).
+// The record is only emitted when both backends agree exactly — same
+// cycle count, every output word bit-identical — so a divergence fails
+// the whole suite rather than publishing a tainted speedup.
+func runFastexec(iters int) (Experiment, error) {
+	prog, err := warp.Compile(workloads.Matmul(32), warp.Options{Verify: true})
+	if err != nil {
+		return Experiment{}, fmt.Errorf("fastexec/matmul32: compile: %w", err)
+	}
+	inputs := variedInputs(prog)
+	run := func(backend string) (map[string][]float64, *warp.RunStats, *Wall, error) {
+		var out map[string][]float64
+		var rs *warp.RunStats
+		durs := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			out, rs, err = prog.RunWith(warp.RunConfig{Backend: backend}, inputs)
+			durs[i] = time.Since(start)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("fastexec/matmul32: %s: %w", backend, err)
+			}
+		}
+		return out, rs, wallStats(durs), nil
+	}
+	simOut, simRS, simWall, err := run(warp.BackendSim)
+	if err != nil {
+		return Experiment{}, err
+	}
+	fastOut, fastRS, fastWall, err := run(warp.BackendFast)
+	if err != nil {
+		return Experiment{}, err
+	}
+	if simRS.Cycles != fastRS.Cycles {
+		return Experiment{}, fmt.Errorf("fastexec/matmul32: backends disagree on cycles: sim %d, fast %d",
+			simRS.Cycles, fastRS.Cycles)
+	}
+	for name, want := range simOut {
+		got := fastOut[name]
+		if len(got) != len(want) {
+			return Experiment{}, fmt.Errorf("fastexec/matmul32: output %q: sim %d words, fast %d",
+				name, len(want), len(got))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return Experiment{}, fmt.Errorf("fastexec/matmul32: output %q[%d]: sim %v, fast %v (not bit-identical)",
+					name, i, want[i], got[i])
+			}
+		}
+	}
+	ex := FromRun("fastexec/matmul32", prog.Metrics(), fastRS, fastWall)
+	ex.Kind = "fastexec"
+	ex.SimWall = simWall
+	// The gated ratio uses the per-backend minima: min approximates
+	// each backend's noise floor, so a transient load spike during one
+	// iteration cannot push the ratio through the floor spuriously.
+	if fastWall.MinNS > 0 {
+		ex.Speedup = float64(simWall.MinNS) / float64(fastWall.MinNS)
+	}
+	return ex, nil
 }
 
 // CompileDriftFactor is the growth factor past which a compile phase's
 // median wall time draws a warning naming the phase.  Wall times vary
 // with the host, so 2× keeps the signal above cross-machine noise.
 const CompileDriftFactor = 2.0
+
+// FastexecSpeedupFloor is the minimum wall speedup the fast dataflow
+// executor must hold over the cycle-accurate simulator on the fastexec
+// experiment.  Unlike other wall metrics this one IS gated hard: both
+// backends run the same program on the same host in the same process,
+// so the ratio cancels host speed and a collapse below the floor means
+// the fast path itself degraded (measured margin is ~2× above it).
+const FastexecSpeedupFloor = 5.0
 
 // Verdict is the outcome of comparing a fresh report to a baseline.
 // Regressions fail the gate; warnings are advisory (wall-clock drift,
@@ -386,7 +496,14 @@ func (v *Verdict) OK() bool { return len(v.Regressions) == 0 }
 // means any change) in the regression direction fail; any other
 // deterministic change warns so the baseline gets refreshed.  Wall
 // medians drifting up by more than wallThreshold warn.
-func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdict {
+//
+// compileThreshold promotes per-phase compile-time drift from warning
+// to regression: when > 0, a compile phase whose median wall time grew
+// past compileThreshold× the baseline fails the gate; at 0 drift past
+// CompileDriftFactor only warns.  Fastexec experiments are gated on
+// FastexecSpeedupFloor regardless of thresholds; speedup drift against
+// the baseline's ratio stays warn-only like any other wall metric.
+func Compare(base, fresh *Report, cycleThreshold, wallThreshold, compileThreshold float64) *Verdict {
 	v := &Verdict{}
 	baseBy := map[string]*Experiment{}
 	for i := range base.Experiments {
@@ -397,6 +514,11 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdic
 	for i := range fresh.Experiments {
 		f := &fresh.Experiments[i]
 		freshNames[f.Name] = true
+		if f.Kind == "fastexec" && f.Speedup < FastexecSpeedupFloor {
+			v.Regressions = append(v.Regressions,
+				fmt.Sprintf("%s: fast-backend speedup %.1fx fell below the %.0fx floor",
+					f.Name, f.Speedup, FastexecSpeedupFloor))
+		}
 		b, ok := baseBy[f.Name]
 		if !ok {
 			v.Warnings = append(v.Warnings,
@@ -448,9 +570,18 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdic
 						f.Name, time.Duration(b.Wall.MedianNS), time.Duration(f.Wall.MedianNS), 100*drift))
 			}
 		}
+		// Speedup drift relative to the baseline's measured ratio is
+		// advisory (the FastexecSpeedupFloor above is the hard gate).
+		if f.Kind == "fastexec" && b.Speedup > 0 && f.Speedup < b.Speedup*(1-wallThreshold) {
+			v.Warnings = append(v.Warnings,
+				fmt.Sprintf("%s: fast-backend speedup drifted %.1fx -> %.1fx — informational while above the %.0fx floor",
+					f.Name, b.Speedup, f.Speedup, FastexecSpeedupFloor))
+		}
 		// Per-phase compile-time drift: a phase whose median wall time
 		// grew past CompileDriftFactor× the baseline names itself, so a
 		// superlinear scheduler blowup is identified, not just noticed.
+		// A positive compileThreshold promotes drift past that factor
+		// from warning to hard failure.
 		if len(b.CompilePhases) > 0 && len(f.CompilePhases) > 0 {
 			basePhase := map[string]int64{}
 			for _, ph := range b.CompilePhases {
@@ -458,7 +589,16 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold float64) *Verdic
 			}
 			for _, ph := range f.CompilePhases {
 				old := basePhase[ph.Name]
-				if old > 0 && float64(ph.MedianNS) > CompileDriftFactor*float64(old) {
+				if old <= 0 {
+					continue
+				}
+				ratio := float64(ph.MedianNS) / float64(old)
+				switch {
+				case compileThreshold > 0 && ratio > compileThreshold:
+					v.Regressions = append(v.Regressions,
+						fmt.Sprintf("%s: compile phase %q regressed %s -> %s (%.1fx, threshold %gx)",
+							f.Name, ph.Name, time.Duration(old), time.Duration(ph.MedianNS), ratio, compileThreshold))
+				case ratio > CompileDriftFactor:
 					v.Warnings = append(v.Warnings,
 						fmt.Sprintf("%s: compile phase %q drifted %s -> %s (>%gx) — check the scheduler counters",
 							f.Name, ph.Name, time.Duration(old), time.Duration(ph.MedianNS), CompileDriftFactor))

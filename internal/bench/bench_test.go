@@ -60,7 +60,7 @@ func TestCompareGate(t *testing.T) {
 	)
 
 	t.Run("identical", func(t *testing.T) {
-		v := Compare(base, base, 0.10, 0.50)
+		v := Compare(base, base, 0.10, 0.50, 0)
 		if !v.OK() || len(v.Warnings) != 0 {
 			t.Fatalf("identical reports produced %+v", v)
 		}
@@ -71,7 +71,7 @@ func TestCompareGate(t *testing.T) {
 			Experiment{Name: "run/a", Cycles: 1200, CellUcode: 40, IUUcode: 42},
 			Experiment{Name: "run/b", Cycles: 500},
 		)
-		v := Compare(base, fresh, 0.10, 0.50)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
 		if v.OK() {
 			t.Fatal("a +20% cycle regression passed the gate")
 		}
@@ -85,7 +85,7 @@ func TestCompareGate(t *testing.T) {
 			Experiment{Name: "run/a", Cycles: 1001, CellUcode: 40, IUUcode: 42},
 			Experiment{Name: "run/b", Cycles: 500},
 		)
-		if v := Compare(base, fresh, 0, 0.50); v.OK() {
+		if v := Compare(base, fresh, 0, 0.50, 0); v.OK() {
 			t.Fatal("+1 cycle passed with threshold 0")
 		}
 	})
@@ -95,7 +95,7 @@ func TestCompareGate(t *testing.T) {
 			Experiment{Name: "run/a", Cycles: 800, CellUcode: 40, IUUcode: 42},
 			Experiment{Name: "run/b", Cycles: 500},
 		)
-		v := Compare(base, fresh, 0.10, 0.50)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
 		if !v.OK() {
 			t.Fatalf("an improvement failed the gate: %v", v.Regressions)
 		}
@@ -110,7 +110,7 @@ func TestCompareGate(t *testing.T) {
 				Wall: &Wall{Iters: 3, MedianNS: 5000, MinNS: 4000}},
 			Experiment{Name: "run/b", Cycles: 500},
 		)
-		v := Compare(base, fresh, 0.10, 0.50)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
 		if !v.OK() {
 			t.Fatalf("wall drift failed the gate: %v", v.Regressions)
 		}
@@ -121,7 +121,7 @@ func TestCompareGate(t *testing.T) {
 
 	t.Run("vanished experiment fails", func(t *testing.T) {
 		fresh := rpt(Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42})
-		if v := Compare(base, fresh, 0.10, 0.50); v.OK() {
+		if v := Compare(base, fresh, 0.10, 0.50, 0); v.OK() {
 			t.Fatal("losing run/b coverage passed the gate")
 		}
 	})
@@ -132,7 +132,7 @@ func TestCompareGate(t *testing.T) {
 			Experiment{Name: "run/b", Cycles: 500},
 			Experiment{Name: "run/c", Cycles: 7},
 		)
-		v := Compare(base, fresh, 0.10, 0.50)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
 		if !v.OK() || len(v.Warnings) != 1 {
 			t.Fatalf("new experiment: %+v", v)
 		}
@@ -169,9 +169,25 @@ func TestRunPinsBaselines(t *testing.T) {
 			t.Errorf("%s = %d cycles, want the pinned baseline %d", name, got[name], cycles)
 		}
 	}
-	if len(rep.Experiments) != len(compileCases())+len(runCases())+len(fabricCases()) {
-		t.Errorf("suite ran %d experiments, want %d", len(rep.Experiments),
-			len(compileCases())+len(runCases())+len(fabricCases()))
+	if want := len(compileCases()) + len(runCases()) + len(fabricCases()) + 1; len(rep.Experiments) != want {
+		t.Errorf("suite ran %d experiments, want %d (incl. fastexec)", len(rep.Experiments), want)
+	}
+	// The fastexec backend comparison: Run itself verifies the two
+	// backends agree bit-for-bit before emitting the record, so here we
+	// only check the record's shape (the 5× floor is gated by Compare,
+	// not asserted on a loaded CI host).
+	var fx *Experiment
+	for i := range rep.Experiments {
+		if rep.Experiments[i].Kind == "fastexec" {
+			fx = &rep.Experiments[i]
+		}
+	}
+	if fx == nil {
+		t.Fatal("no fastexec experiment in the suite")
+	}
+	if fx.Name != "fastexec/matmul32" || fx.Cycles <= 0 || fx.Speedup <= 0 ||
+		fx.SimWall == nil || fx.Wall == nil {
+		t.Errorf("malformed fastexec record: %+v", fx)
 	}
 	// The fabric scaling curve: the 4-array farm's modeled speedup over
 	// one array must clear 2× (the acceptance bar), and the tile
@@ -206,7 +222,7 @@ func TestCompilePhaseDrift(t *testing.T) {
 		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 1000}, {Name: "skew", MedianNS: 500}}})
 	fresh := rpt(Experiment{Name: "compile/c", Kind: "compile",
 		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 2100}, {Name: "skew", MedianNS: 900}}})
-	v := Compare(base, fresh, 0.10, 100) // wall threshold out of the way
+	v := Compare(base, fresh, 0.10, 100, 0) // wall threshold out of the way
 	if !v.OK() {
 		t.Fatalf("phase drift must warn, not fail: %v", v.Regressions)
 	}
@@ -216,6 +232,57 @@ func TestCompilePhaseDrift(t *testing.T) {
 	}
 	if strings.Contains(joined, `"skew"`) {
 		t.Errorf("sub-factor drift warned: %v", v.Warnings)
+	}
+}
+
+// TestCompileThresholdPromotes checks that a positive compileThreshold
+// turns compile-phase drift past the factor into a hard regression,
+// while drift under the factor still only warns via CompileDriftFactor.
+func TestCompileThresholdPromotes(t *testing.T) {
+	base := rpt(Experiment{Name: "compile/c", Kind: "compile",
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 1000}, {Name: "skew", MedianNS: 500}}})
+	fresh := rpt(Experiment{Name: "compile/c", Kind: "compile",
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 5000}, {Name: "skew", MedianNS: 1100}}})
+	v := Compare(base, fresh, 0.10, 100, 4.0)
+	if v.OK() {
+		t.Fatal("5x phase growth must fail with -compile-threshold 4")
+	}
+	joined := strings.Join(v.Regressions, "\n")
+	if !strings.Contains(joined, `compile phase "cellgen" regressed`) {
+		t.Errorf("no regression naming the blown phase: %v", v.Regressions)
+	}
+	if strings.Contains(joined, `"skew"`) {
+		t.Errorf("2.2x growth hard-failed under a 4x threshold: %v", v.Regressions)
+	}
+	if !strings.Contains(strings.Join(v.Warnings, "\n"), `compile phase "skew" drifted`) {
+		t.Errorf("2.2x growth should still warn: %v", v.Warnings)
+	}
+}
+
+// TestFastexecSpeedupGate checks the one hard wall gate: a fastexec
+// experiment whose speedup fell below FastexecSpeedupFloor fails
+// regardless of thresholds, while above-floor drift only warns.
+func TestFastexecSpeedupGate(t *testing.T) {
+	base := rpt(Experiment{Name: "fastexec/matmul32", Kind: "fastexec", Cycles: 100, Speedup: 15.0})
+	below := rpt(Experiment{Name: "fastexec/matmul32", Kind: "fastexec", Cycles: 100, Speedup: 4.2})
+	v := Compare(base, below, 0.10, 0.50, 0)
+	if v.OK() {
+		t.Fatal("speedup 4.2x must fail the 5x floor")
+	}
+	if !strings.Contains(strings.Join(v.Regressions, "\n"), "below the 5x floor") {
+		t.Errorf("regression does not name the floor: %v", v.Regressions)
+	}
+	drifted := rpt(Experiment{Name: "fastexec/matmul32", Kind: "fastexec", Cycles: 100, Speedup: 4.9})
+	if v := Compare(base, drifted, 0.10, 0.50, 0); v.OK() {
+		t.Error("speedup 4.9x must fail the 5x floor even with a worse baseline margin")
+	}
+	ok := rpt(Experiment{Name: "fastexec/matmul32", Kind: "fastexec", Cycles: 100, Speedup: 5.5})
+	v = Compare(base, ok, 0.10, 0.50, 0)
+	if !v.OK() {
+		t.Fatalf("5.5x is above the floor, drift must be warn-only: %v", v.Regressions)
+	}
+	if !strings.Contains(strings.Join(v.Warnings, "\n"), "speedup drifted") {
+		t.Errorf("15x -> 5.5x drift should warn: %v", v.Warnings)
 	}
 }
 

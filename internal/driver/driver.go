@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"warp/internal/cellgen"
 	"warp/internal/commgraph"
+	"warp/internal/fastexec"
 	"warp/internal/hostgen"
 	"warp/internal/interp"
 	"warp/internal/ir"
@@ -103,6 +105,31 @@ type Compiled struct {
 
 	Cells   int
 	W2Lines int
+
+	// The fast-execution plan is compiled lazily on first use and
+	// cached: it is derived purely from the immutable microcode above,
+	// so one plan is shared by every concurrent run and fabric tile.
+	fastOnce sync.Once
+	fastPlan *fastexec.Plan
+	fastErr  error
+}
+
+// FastPlan returns the compiled program's fast-execution plan, building
+// and caching it on first call.  The plan is immutable and shared; a
+// program the trace compiler cannot represent returns the build error
+// on every call.
+func (c *Compiled) FastPlan() (*fastexec.Plan, error) {
+	c.fastOnce.Do(func() {
+		c.fastPlan, c.fastErr = fastexec.Compile(fastexec.Program{
+			Cells: c.Cells,
+			Cell:  c.Cell,
+			IU:    c.IU,
+			Host:  c.Host,
+			Skew:  c.Skew,
+			Lead:  c.IUGen.Prologue + 1,
+		})
+	})
+	return c.fastPlan, c.fastErr
 }
 
 // Compile runs the whole pipeline on W2 source text.  If software
@@ -313,6 +340,24 @@ func countLines(src string) int {
 	return n
 }
 
+// Execution backend names (RunOptions.Backend).
+const (
+	// BackendAuto picks the fast dataflow executor when the program is
+	// verified and the run needs no per-cycle observability, falling
+	// back to the cycle-accurate simulator otherwise.
+	BackendAuto = "auto"
+	// BackendSim forces the cycle-accurate simulator.
+	BackendSim = "sim"
+	// BackendFast forces the verified fast executor; an unverified
+	// program fails with an error wrapping ErrUnverified instead of
+	// silently degrading to the simulator.
+	BackendFast = "fast"
+)
+
+// ErrUnverified marks a run that requested the fast backend on a
+// program compiled without verification.  Test with errors.Is.
+var ErrUnverified = errors.New("program is not verified (compile with Verify to use the fast backend)")
+
 // RunOptions control one execution of a compiled program.  The zero
 // value runs to completion with no instrumentation and the default
 // livelock guard.
@@ -329,6 +374,44 @@ type RunOptions struct {
 	// (sim.Config.PCStats); the counters land in Stats.Obs.PC, ready to
 	// join with Compiled.Debug.
 	Profile bool
+	// Backend selects the execution backend: BackendAuto (the default
+	// for the empty string), BackendSim or BackendFast.  The selected
+	// backend is stamped into Stats.Backend.
+	Backend string
+}
+
+// chooseBackend resolves a RunOptions backend request against the
+// compiled program: which engine runs, or an error for an impossible
+// explicit request.
+func chooseBackend(c *Compiled, o RunOptions) (string, error) {
+	switch b := o.Backend; b {
+	case "", BackendAuto:
+		// The fast path models cycles instead of observing them, so any
+		// run that wants per-cycle instrumentation stays on the
+		// simulator; so does an unverified program (no proofs, no
+		// shortcut) or one whose trace cannot be built.  Phase-only
+		// recorders (request-trace span adapters) see nothing at run
+		// time and do not block the fast path.
+		if c.Verified == nil || o.Profile || obs.CycleObserved(o.Recorder) {
+			return BackendSim, nil
+		}
+		if _, err := c.FastPlan(); err != nil {
+			return BackendSim, nil
+		}
+		return BackendFast, nil
+	case BackendSim:
+		return BackendSim, nil
+	case BackendFast:
+		if c.Verified == nil {
+			return "", fmt.Errorf("backend %q: %w", b, ErrUnverified)
+		}
+		if _, err := c.FastPlan(); err != nil {
+			return "", fmt.Errorf("backend %q: %w", b, err)
+		}
+		return BackendFast, nil
+	default:
+		return "", fmt.Errorf("unknown backend %q (want %q, %q or %q)", b, BackendAuto, BackendSim, BackendFast)
+	}
 }
 
 // Run executes the compiled program on the simulated Warp machine.
@@ -345,31 +428,85 @@ func RunObserved(c *Compiled, inputs map[string][]float64, rec obs.Recorder) (ma
 // RunWith executes the compiled program under the given run options.
 // The compiled program's phase records are copied into the run profile
 // so one Stats value carries the whole compile-and-run story.  Compiled
-// is never mutated: every run builds fresh machine state, so one
-// Compiled may run from many goroutines concurrently.
+// is never mutated beyond the one-time fast-plan cache: every run
+// builds fresh machine state, so one Compiled may run from many
+// goroutines concurrently.
 func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string][]float64, *sim.Stats, error) {
+	backend, err := chooseBackend(c, o)
+	if err != nil {
+		return nil, nil, err
+	}
 	hostMem, err := interp.BuildHostMem(c.Info, inputs)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats, err := sim.Run(sim.Config{
-		Cells:     c.Cells,
-		Cell:      c.Cell,
-		IU:        c.IU,
-		Host:      c.Host,
-		Skew:      c.Skew,
-		Lead:      c.IUGen.Prologue + 1,
-		HostMem:   hostMem,
-		MaxCycles: o.MaxCycles,
-		Ctx:       o.Ctx,
-		Recorder:  o.Recorder,
-		PCStats:   o.Profile,
-	})
+	var stats *sim.Stats
+	if backend == BackendFast {
+		stats, err = runFast(c, hostMem, o)
+	} else {
+		stats, err = sim.Run(sim.Config{
+			Cells:     c.Cells,
+			Cell:      c.Cell,
+			IU:        c.IU,
+			Host:      c.Host,
+			Skew:      c.Skew,
+			Lead:      c.IUGen.Prologue + 1,
+			HostMem:   hostMem,
+			MaxCycles: o.MaxCycles,
+			Ctx:       o.Ctx,
+			Recorder:  o.Recorder,
+			PCStats:   o.Profile,
+		})
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Backend = backend
 	stats.Obs.Phases = c.Phases
 	return interp.ExtractOutputs(c.Info, hostMem), stats, nil
+}
+
+// runFast executes over the cached dataflow plan and converts the
+// result to the simulator's Stats shape.  The queue peaks come from the
+// verifier's proven occupancy bounds — the fast path never materializes
+// queues, but the bounds are exactly what the proof discharged.
+func runFast(c *Compiled, hostMem []float64, o RunOptions) (*sim.Stats, error) {
+	plan, err := c.FastPlan() // cached; already built by chooseBackend
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Execute(hostMem, fastexec.ExecConfig{Ctx: o.Ctx, MaxCycles: o.MaxCycles})
+	if err != nil {
+		return nil, err
+	}
+	stats := &sim.Stats{
+		Cycles:     res.Cycles,
+		CellFinish: res.CellFinish,
+		AddOps:     res.AddOps,
+		MulOps:     res.MulOps,
+		CellActive: res.CellActive,
+		Sent:       res.Sent,
+		Obs:        res.Obs,
+	}
+	if rep := c.Verified; rep != nil {
+		for _, ch := range []w2.Channel{w2.ChanX, w2.ChanY} {
+			occ, ok := rep.Data[ch]
+			if !ok {
+				continue
+			}
+			kind := obs.QueueX
+			if ch == w2.ChanY {
+				kind = obs.QueueY
+			}
+			stats.Obs.Queues = append(stats.Obs.Queues, obs.QueueProfile{
+				Name:      fmt.Sprintf("proven:%s", ch),
+				Queue:     kind,
+				HighWater: int(occ.Max),
+			})
+		}
+		stats.MaxQueue, stats.MaxQueueAt = stats.Obs.MaxQueue()
+	}
+	return stats, nil
 }
 
 // Run2Interp runs the reference interpreter on a compiled program's

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -260,16 +261,46 @@ func mutated(c *Compiled) *verify.Program {
 
 // checkVerifierOnProgram runs the full soundness protocol on one
 // compiled program: the verifier must accept it, the simulation must
-// complete (accept ⇒ run clean), and every applicable mutation must be
-// rejected with structured diagnostics.
+// complete (accept ⇒ run clean), the fast backend must reproduce the
+// simulation bit for bit (accept ⇒ the closed-form executor is exact),
+// and every applicable mutation must be rejected with structured
+// diagnostics.
 func checkVerifierOnProgram(t *testing.T, c *Compiled, src string, inputs map[string][]float64, simulate bool) {
 	t.Helper()
-	if _, err := verify.Verify(verifyProgram(c)); err != nil {
+	rep, err := verify.Verify(verifyProgram(c))
+	if err != nil {
 		t.Fatalf("verifier rejects a compiler-produced program: %v\n%s", err, src)
 	}
 	if simulate {
-		if _, _, err := Run(c, inputs); err != nil {
+		simOut, simStats, err := RunWith(c, inputs, RunOptions{Backend: BackendSim})
+		if err != nil {
 			t.Fatalf("verifier accepted but simulation failed: %v\n%s", err, src)
+		}
+		// Stamp the report so the fast backend is eligible, then demand
+		// it: every verifier-accepted program must execute identically on
+		// both backends — same cycle count, bit-identical outputs.
+		c.Verified = rep
+		fastOut, fastStats, err := RunWith(c, inputs, RunOptions{Backend: BackendFast})
+		if err != nil {
+			t.Fatalf("verifier accepted but fast execution failed: %v\n%s", err, src)
+		}
+		if fastStats.Backend != BackendFast || simStats.Backend != BackendSim {
+			t.Fatalf("backend stamps %q/%q, want fast/sim", fastStats.Backend, simStats.Backend)
+		}
+		if fastStats.Cycles != simStats.Cycles {
+			t.Fatalf("backends disagree on cycles: fast %d, sim %d\n%s",
+				fastStats.Cycles, simStats.Cycles, src)
+		}
+		for name, sv := range simOut {
+			fv := fastOut[name]
+			if len(fv) != len(sv) {
+				t.Fatalf("backends disagree on %s length: fast %d, sim %d\n%s", name, len(fv), len(sv), src)
+			}
+			for i := range sv {
+				if math.Float64bits(fv[i]) != math.Float64bits(sv[i]) {
+					t.Fatalf("backends disagree on %s[%d]: fast %v, sim %v\n%s", name, i, fv[i], sv[i], src)
+				}
+			}
 		}
 	}
 	for _, m := range mutations {

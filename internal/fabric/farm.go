@@ -21,7 +21,11 @@ type RunTileFunc func(ctx context.Context, t Tile, inputs map[string][]float64) 
 
 // TileStats is one tile run's profile contribution.
 type TileStats struct {
-	Cycles  int64
+	Cycles int64
+	// Backend names the executor that ran the tile ("sim" or "fast");
+	// every tile of one job uses the same backend, surfaced as
+	// Stats.Backend.
+	Backend string
 	Summary obs.Summary
 	// Source is the tile run's source-line cycle profile; non-nil only
 	// on profiled runs.  The farm merges every tile's profile into
@@ -100,6 +104,10 @@ type Stats struct {
 
 	// WallNS is the job's host wall-clock time.
 	WallNS int64
+
+	// Backend names the executor the tiles ran on ("sim" or "fast" —
+	// uniform across a job, taken from the completed tiles).
+	Backend string
 }
 
 // stagedTile is one unit of queued work: a tile plus its pre-sliced
@@ -208,6 +216,7 @@ func Run(ctx context.Context, pl *Plan, cfg Config, run RunTileFunc) ([]float64,
 		}
 		tileOut[r.id] = r.out
 		cycles = append(cycles, r.stats.Cycles)
+		stats.Backend = r.stats.Backend
 		stats.AggregateCycles += r.stats.Cycles
 		w := float64(r.stats.Cycles)
 		stats.AddUtil += w * r.stats.Summary.AddUtil

@@ -130,6 +130,31 @@ func Nop() Recorder { return nop }
 // no-op.  Hot paths cache this answer in a bool and branch on it.
 func Enabled(r Recorder) bool { return r != nil && r != nop }
 
+// phaseOnly marks recorders that consume only compiler Phase events
+// and discard every cycle-level hook; implemented by in-package
+// adapters (e.g. the request-trace span recorder).
+type phaseOnly interface{ phaseOnly() }
+
+// CycleObserved reports whether r consumes cycle-level run events —
+// whether a run must actually be stepped cycle by cycle for r to see
+// anything.  No-ops and phase-only recorders do not; the driver uses
+// this to decide when the fast backend would lose observability.
+func CycleObserved(r Recorder) bool {
+	if m, ok := r.(multi); ok {
+		for _, sub := range m {
+			if CycleObserved(sub) {
+				return true
+			}
+		}
+		return false
+	}
+	if !Enabled(r) {
+		return false
+	}
+	_, po := r.(phaseOnly)
+	return !po
+}
+
 // multi fans events out to several recorders.
 type multi []Recorder
 

@@ -185,6 +185,10 @@ type spanPhaseRecorder struct {
 	parent *Span
 }
 
+// phaseOnly marks this recorder as blind to cycle-level events, so the
+// driver's backend choice never forces a cycle-accurate run for it.
+func (r *spanPhaseRecorder) phaseOnly() {}
+
 func (r *spanPhaseRecorder) Phase(name string, seconds float64, size int, note string) {
 	attrs := []SpanAttr{{Key: "size", Value: strconv.Itoa(size)}}
 	if note != "" {

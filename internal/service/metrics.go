@@ -80,6 +80,7 @@ type Metrics struct {
 
 	compiles map[string]int64 // result label -> count (hit|miss|error|rejected)
 	runs     map[string]int64 // result label -> count (ok|error|timeout|rejected)
+	backends map[string]int64 // backend label -> completed runs (sim|fast)
 
 	compileLatency *histogram
 	runLatency     *histogram
@@ -121,6 +122,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		compiles:       map[string]int64{},
 		runs:           map[string]int64{},
+		backends:       map[string]int64{},
 		compileLatency: newHistogram(),
 		runLatency:     newHistogram(),
 		phaseSeconds:   map[string]float64{},
@@ -213,6 +215,17 @@ func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
 	}
 }
 
+// Backend records which executor completed a run ("sim" or "fast");
+// partitioned jobs count once per job, not per tile.
+func (m *Metrics) Backend(backend string) {
+	if backend == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backends[backend]++
+}
+
 // MedianRunSeconds estimates the median completed-run service time from
 // the latency histogram — the observed-load signal behind the 429
 // Retry-After hint.  0 means no run has completed yet.
@@ -235,6 +248,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# HELP warpd_run_requests_total Run requests by result (ok|error|timeout|rejected).\n")
 	fmt.Fprintf(w, "# TYPE warpd_run_requests_total counter\n")
 	writeLabelled(w, "warpd_run_requests_total", "result", m.runs)
+
+	fmt.Fprintf(w, "# HELP warpd_backend_runs_total Completed runs by execution backend (sim|fast).\n")
+	fmt.Fprintf(w, "# TYPE warpd_backend_runs_total counter\n")
+	writeLabelled(w, "warpd_backend_runs_total", "backend", m.backends)
 
 	fmt.Fprintf(w, "# HELP warpd_compile_seconds Compile request service time.\n")
 	m.compileLatency.write(w, "warpd_compile_seconds")

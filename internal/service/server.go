@@ -186,6 +186,13 @@ type RunRequest struct {
 	// GET /debug/requests/{id}/profile while the request stays in the
 	// flight recorder.
 	Profile bool `json:"profile,omitempty"`
+	// Backend selects the execution backend: "auto" (or omitted) runs
+	// verified programs on the fast dataflow executor and everything
+	// else on the cycle-accurate simulator; "sim" forces simulation;
+	// "fast" demands the fast executor and fails with 422 when the
+	// program is not verified (e.g. the server runs with -no-verify) —
+	// there is no silent fallback.
+	Backend string `json:"backend,omitempty"`
 }
 
 // PartitionJSON describes the oversized problem a partitioned run
@@ -225,6 +232,7 @@ type FabricJSON struct {
 // RunStatsJSON is the wire form of the run statistics.
 type RunStatsJSON struct {
 	Cycles         int64   `json:"cycles"`
+	Backend        string  `json:"backend,omitempty"`
 	MaxQueue       int     `json:"max_queue"`
 	MaxQueueAt     string  `json:"max_queue_at,omitempty"`
 	AddUtilization float64 `json:"add_utilization"`
@@ -266,6 +274,9 @@ type errorResponse struct {
 	// when the error is a verification rejection (one entry per
 	// violated invariant: cell, instruction index, invariant name).
 	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
+	// Hint tells the client how to make the request processable, e.g.
+	// how to satisfy a "backend":"fast" demand on an unverified program.
+	Hint string `json:"hint,omitempty"`
 }
 
 // httpError is an error carrying its HTTP status.
@@ -292,6 +303,11 @@ func errStatus(err error) int {
 		// accounting keeps logs honest (no stdlib constant exists).
 		return 499
 	case errors.Is(err, warp.ErrLivelock):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, warp.ErrUnverified):
+		// The request demanded the fast backend for a program the
+		// server cannot prove safe; refusing beats silently running the
+		// simulator instead.
 		return http.StatusUnprocessableEntity
 	case isVerifyError(err):
 		// The source compiled but the microcode failed verification:
@@ -324,6 +340,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var verr *verify.Error
 	if errors.As(err, &verr) {
 		resp.Diagnostics = verr.Diags
+	}
+	if errors.Is(err, warp.ErrUnverified) {
+		resp.Hint = `the fast backend runs only verified programs; restart the server without -no-verify, or use "backend":"sim"`
 	}
 	writeJSON(w, status, resp)
 }
@@ -470,11 +489,13 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 			Context:   ctx,
 			MaxCycles: maxCycles,
 			Profile:   req.Profile,
+			Backend:   req.Backend,
 		}, req.Inputs)
 		if err != nil {
 			runSpan.Annotate("error", err.Error())
 			return err
 		}
+		runSpan.Annotate("backend", rs.Backend)
 		sum := rs.Profile.Summarize()
 		runSpan.AttachSummary(sum)
 		rc.cycles = rs.Cycles
@@ -486,6 +507,7 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 			Request: rc.id,
 			Stats: RunStatsJSON{
 				Cycles:         rs.Cycles,
+				Backend:        rs.Backend,
 				MaxQueue:       rs.MaxQueue,
 				MaxQueueAt:     rs.MaxQueueAt,
 				AddUtilization: rs.AddUtilization,
@@ -493,6 +515,7 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 			},
 		}
 		s.metrics.Run("ok", time.Since(start).Seconds(), sum)
+		s.metrics.Backend(rs.Backend)
 		return nil
 	})
 	// End is idempotent: on the rejected/deadline paths the span is
@@ -585,6 +608,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			TileRetries:  retries,
 			TileDeadline: time.Duration(req.Partition.TileDeadlineMS) * time.Millisecond,
 			Profile:      req.Profile,
+			Backend:      req.Backend,
 		}, prob)
 		if fs != nil {
 			runSpan.Annotate("tiles", fmt.Sprint(fs.Tiles))
@@ -602,6 +626,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			}
 			return err
 		}
+		runSpan.Annotate("backend", fs.Backend)
 		rc.cycles = fs.AggregateCycles
 		rc.source = fs.Source
 		resp = &RunResponse{
@@ -611,6 +636,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			Request: rc.id,
 			Stats: RunStatsJSON{
 				Cycles:         fs.MakespanCycles,
+				Backend:        fs.Backend,
 				MaxQueue:       fs.PeakQueue,
 				MaxQueueAt:     fs.PeakQueueAt,
 				AddUtilization: fs.AddUtil,
@@ -629,6 +655,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			},
 		}
 		s.metrics.Fabric("ok", time.Since(start).Seconds(), fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
+		s.metrics.Backend(fs.Backend)
 		return nil
 	})
 	queueSpan.End()

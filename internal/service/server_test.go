@@ -316,7 +316,8 @@ func TestServiceBackpressure(t *testing.T) {
 	client := ts.Client()
 
 	// Occupy the single worker and the single queue slot with slow
-	// simulations (large polynomial), then overflow.
+	// simulations (large polynomial, backend pinned to the simulator so
+	// the fast executor cannot drain the queue first), then overflow.
 	big := workloads.Polynomial(10, 5000)
 	prog, err := warp.Compile(big, warp.Options{})
 	if err != nil {
@@ -345,7 +346,7 @@ func TestServiceBackpressure(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, _ := postJSON(t, client, ts.URL+"/run", RunRequest{Source: big, Inputs: inputs})
+			resp, _ := postJSON(t, client, ts.URL+"/run", RunRequest{Source: big, Inputs: inputs, Backend: "sim"})
 			outcomes <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
 		}()
 	}

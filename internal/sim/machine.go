@@ -61,7 +61,12 @@ type Config struct {
 
 // Stats reports the outcome of a run.
 type Stats struct {
-	Cycles int64 // total cycles until the last cell finished
+	// Backend names the execution backend that produced these stats:
+	// "sim" for a cycle-accurate run, "fast" for the verified dataflow
+	// executor (internal/fastexec).  sim.Run leaves it empty; the
+	// driver stamps it when it selects the backend.
+	Backend string
+	Cycles  int64 // total cycles until the last cell finished
 	// CellFinish is the absolute cycle each cell finished at.
 	CellFinish []int64
 	// MaxQueue is the peak occupancy over the data queues (X and Y),

@@ -69,16 +69,19 @@ func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]floa
 		return nil, nil, err
 	}
 	run := func(ctx context.Context, t fabric.Tile, in map[string][]float64) ([]float64, fabric.TileStats, error) {
+		// Every tile worker shares the kernel's one cached fast plan, so
+		// a verified kernel runs the whole farm at dataflow speed.
 		out, stats, err := driver.RunWith(p.c, in, driver.RunOptions{
 			Ctx:       ctx,
 			Recorder:  p.rec,
 			MaxCycles: cfg.MaxCycles,
 			Profile:   cfg.Profile,
+			Backend:   cfg.Backend,
 		})
 		if err != nil {
 			return nil, fabric.TileStats{}, err
 		}
-		ts := fabric.TileStats{Cycles: stats.Cycles}
+		ts := fabric.TileStats{Cycles: stats.Cycles, Backend: stats.Backend}
 		if stats.Obs != nil {
 			ts.Summary = stats.Obs.Summarize()
 			if cfg.Profile {

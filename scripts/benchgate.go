@@ -5,13 +5,19 @@
 // Wall-clock drift only warns — hosts differ.  Compile experiments
 // additionally carry per-phase wall times: a phase whose median grew
 // past bench.CompileDriftFactor (2×) draws a warning naming the phase,
-// so a scheduler search blowup is attributed, not just noticed.
+// so a scheduler search blowup is attributed, not just noticed;
+// -compile-threshold promotes drift past the given factor to a hard
+// failure (CI uses it so compile-time blowups cannot merge silently).
+// The fastexec experiment is the one wall metric gated hard: its
+// sim-over-fast speedup ratio cancels host speed, so falling below
+// bench.FastexecSpeedupFloor (5×) fails regardless of thresholds.
 //
 // Usage:
 //
-//	go run ./scripts/benchgate.go                      # run suite, gate vs BENCH_5.json
+//	go run ./scripts/benchgate.go                      # run suite, gate vs BENCH_7.json
 //	go run ./scripts/benchgate.go -fresh bench.json    # gate a pre-built report
 //	go run ./scripts/benchgate.go -cycle-threshold 0   # any cycle increase fails (CI)
+//	go run ./scripts/benchgate.go -compile-threshold 4 # 4x compile-phase growth fails
 //
 // Exit status: 0 when the gate passes (warnings allowed), 1 on any
 // regression, 2 on usage or I/O errors.
@@ -27,12 +33,13 @@ import (
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_5.json", "committed baseline report")
+		baseline = flag.String("baseline", "BENCH_7.json", "committed baseline report")
 		fresh    = flag.String("fresh", "", "pre-built fresh report (empty = run the suite now)")
 		out      = flag.String("out", "", "also write the fresh report here")
 		iters    = flag.Int("iters", 3, "wall-clock iterations when running the suite")
 		cycleThr = flag.Float64("cycle-threshold", 0.10, "fail when a deterministic counter regresses by more than this fraction (0 = any increase fails)")
 		wallThr  = flag.Float64("wall-threshold", 0.50, "warn when a wall-clock median drifts up by more than this fraction")
+		compThr  = flag.Float64("compile-threshold", 0, "fail when a compile phase's median wall time grows past this factor (0 = warn-only past the built-in 2x)")
 	)
 	flag.Parse()
 
@@ -64,7 +71,7 @@ func main() {
 		}
 	}
 
-	v := bench.Compare(base, freshRep, *cycleThr, *wallThr)
+	v := bench.Compare(base, freshRep, *cycleThr, *wallThr, *compThr)
 	for _, w := range v.Warnings {
 		fmt.Printf("benchgate: warning: %s\n", w)
 	}

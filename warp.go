@@ -43,6 +43,26 @@ import (
 // (default 1<<28 cycles).  Test for it with errors.Is.
 var ErrLivelock = sim.ErrLivelock
 
+// ErrUnverified marks a run that requested BackendFast on a program
+// compiled without Options.Verify: the fast backend executes only
+// proof-carrying programs and never silently degrades to the
+// simulator.  Test for it with errors.Is.
+var ErrUnverified = driver.ErrUnverified
+
+// Execution backend names for RunConfig.Backend.
+const (
+	// BackendAuto (also the empty string) picks the fast dataflow
+	// executor when the program is verified and the run requests no
+	// per-cycle observability (no Recorder, no Profile), and the
+	// cycle-accurate simulator otherwise.
+	BackendAuto = driver.BackendAuto
+	// BackendSim forces the cycle-accurate simulator.
+	BackendSim = driver.BackendSim
+	// BackendFast forces the verified fast executor; unverified
+	// programs fail with ErrUnverified.
+	BackendFast = driver.BackendFast
+)
+
 // Options control compilation.
 type Options struct {
 	// NoOptimize disables the local optimizer (CSE, constant folding,
@@ -103,6 +123,12 @@ func Compile(src string, opts Options) (*Program, error) {
 type RunStats struct {
 	// Cycles is the total machine time until the last cell finished.
 	Cycles int64
+	// Backend names the executor that produced this run: "sim" for the
+	// cycle-accurate simulator, "fast" for the verified dataflow
+	// executor.  Both report identical Cycles and outputs for the same
+	// program and inputs; the fast backend's count comes from the
+	// verifier's closed-form model rather than stepping.
+	Backend string
 	// MaxQueue is the peak data-queue occupancy observed, derived from
 	// the per-queue high-water marks in Profile.Queues.
 	MaxQueue int
@@ -164,6 +190,13 @@ type RunConfig struct {
 	// totals sum to busy+starved+bubble.  Off by default; when off the
 	// simulator's only extra cost is a nil check per cycle per cell.
 	Profile bool
+	// Backend selects the execution backend: BackendAuto (or "") picks
+	// the fast dataflow executor for verified programs when no per-cycle
+	// observability is requested and the simulator otherwise; BackendSim
+	// forces cycle-accurate simulation; BackendFast demands the fast
+	// executor and fails with ErrUnverified when the program was
+	// compiled without Options.Verify.
+	Backend string
 
 	// The remaining fields configure RunPartitioned only; the
 	// single-array Run variants ignore them.
@@ -230,12 +263,14 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 		Recorder:  rec,
 		MaxCycles: cfg.MaxCycles,
 		Profile:   cfg.Profile,
+		Backend:   cfg.Backend,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	rs := &RunStats{
 		Cycles:     stats.Cycles,
+		Backend:    stats.Backend,
 		MaxQueue:   stats.MaxQueue,
 		MaxQueueAt: stats.MaxQueueAt,
 		Profile:    stats.Obs,
