@@ -612,7 +612,7 @@ func fabricScaling() error {
 // proven schedule over host slices and reports the same closed-form
 // cycle count.  The experiment hard-fails unless outputs are
 // bit-identical and modeled cycles agree exactly; the wall speedup is
-// the number the BENCH_7.json gate holds above 5× on the 32×32 case.
+// the number the BENCH_8.json gate holds above 5× on the 32×32 case.
 func fastexec() error {
 	const iters = 3
 	fmt.Println("verified matmul on both backends (outputs bit-checked, cycles must agree):")
@@ -668,7 +668,7 @@ func fastexec() error {
 			simRS.Cycles, simWall.Round(time.Microsecond), fastWall.Round(time.Microsecond),
 			float64(simWall)/float64(fastWall))
 	}
-	fmt.Printf("\n(gate: bench.FastexecSpeedupFloor holds the 32x32 speedup above %.0fx in BENCH_7.json)\n",
+	fmt.Printf("\n(gate: bench.FastexecSpeedupFloor holds the 32x32 speedup above %.0fx in BENCH_8.json)\n",
 		bench.FastexecSpeedupFloor)
 	return nil
 }

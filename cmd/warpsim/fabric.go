@@ -70,6 +70,8 @@ type fabricFlags struct {
 	check     bool
 	backend   string
 	statsJSON string
+	progress  bool
+	stats     bool
 
 	// profile enables per-tile µPC profiling (the farm merges tiles into
 	// one aggregate); printProfile additionally prints the text reports.
@@ -133,15 +135,22 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 	if err != nil {
 		fail(err)
 	}
-	runStart := time.Now()
-	out, fs, err := prog.RunPartitioned(warp.RunConfig{
+	var tick *progressTicker
+	runCfg := warp.RunConfig{
 		Arrays:       f.arrays,
 		MaxCycles:    f.maxCycles,
 		TileDeadline: f.deadline,
 		TileRetries:  f.retries,
 		Profile:      f.profile,
 		Backend:      f.backend,
-	}, prob)
+	}
+	if f.progress {
+		tick = newProgressTicker(os.Stderr)
+		runCfg.Progress = tick.update
+	}
+	runStart := time.Now()
+	out, fs, err := prog.RunPartitioned(runCfg, prob)
+	tick.Stop()
 	if err != nil {
 		var te *warp.TileError
 		if errors.As(err, &te) {
@@ -158,6 +167,9 @@ func runFabric(spec *fabricSpec, f fabricFlags) {
 		fs.Dispatched, fs.Retried, fs.Failed, fs.StagedWords)
 	fmt.Printf("aggregate %d cycles, makespan %d cycles, modeled speedup %.2fx, wall %s\n",
 		fs.AggregateCycles, fs.MakespanCycles, fs.Speedup, time.Duration(fs.WallNS).Round(time.Microsecond))
+	if f.stats {
+		fmt.Print(decisionLine(fs.Decision))
+	}
 
 	if f.statsFile != nil {
 		rep := &bench.Report{Schema: bench.Schema, Experiments: []bench.Experiment{

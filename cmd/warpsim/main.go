@@ -4,10 +4,10 @@
 // Usage:
 //
 //	warpsim [-pipeline] [-cells n] [-seed n] [-inputs data.json]
-//	        [-backend auto|sim|fast] [-crosscheck]
+//	        [-backend auto|sim|fast] [-crosscheck] [-progress]
 //	        [-check] [-trace out.json] [-stats] [-stats-json out.json]
 //	        [-max-cycles n] program.w2
-//	warpsim -arrays n [-backend auto|sim|fast] [-check]
+//	warpsim -arrays n [-backend auto|sim|fast] [-check] [-progress]
 //	        [-tile-retries n] [-tile-deadline d]
 //	        [-stats-json out.json] problem.json
 //
@@ -41,6 +41,14 @@
 // program on BOTH backends and fails unless the outputs are
 // bit-identical and the cycle counts exactly equal, then reports the
 // wall-clock speedup.
+//
+// Live progress: -progress streams the run's position as a single
+// carriage-return-updated stderr line — cycle N of the modeled total
+// for a single array, completed tiles for a fabric job — finished with
+// a newline before anything else prints, so it never interleaves with
+// -stats output.  -stats additionally reports the backend decision
+// audit: which executor ran the program, why, and the cost model's
+// predicted wall time against the measured one.
 //
 // Observability: -trace writes a Chrome trace-event JSON file (load it
 // at https://ui.perfetto.dev — one track per cell, functional unit and
@@ -101,6 +109,7 @@ func main() {
 		pprofPath = flag.String("pprof", "", "write the profile as gzipped pprof protobuf for `go tool pprof` (implies profiling)")
 		backend   = flag.String("backend", "auto", "execution backend: auto (fast for verified programs), sim, or fast")
 		crossFlag = flag.Bool("crosscheck", false, "run on both backends and fail unless outputs are bit-identical and cycles exactly equal")
+		progFlag  = flag.Bool("progress", false, "stream live run progress as a single updating stderr line")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -132,7 +141,7 @@ func main() {
 			pipeline: *pipeline, arrays: *arrays, retries: *tileRetry,
 			deadline: *tileDL, maxCycles: *maxCycles, seed: *seed,
 			check: *check, profile: profiling, printProfile: *profile,
-			backend: *backend,
+			backend: *backend, progress: *progFlag, stats: *stats,
 			statsJSON: *statsJSON, statsFile: statsFile,
 			flameFile: flameFile, flamePath: *flamePath,
 			pprofFile: pprofFile, pprofPath: *pprofPath, outFile: outFile,
@@ -161,6 +170,11 @@ func main() {
 	fillRandom(prog, inputs, *seed)
 
 	runCfg := warp.RunConfig{MaxCycles: *maxCycles, Profile: profiling, Backend: *backend}
+	var tick *progressTicker
+	if *progFlag && !*crossFlag {
+		tick = newProgressTicker(os.Stderr)
+		runCfg.Progress = tick.update
+	}
 	var out map[string][]float64
 	var rstats *warp.RunStats
 	runStart := time.Now()
@@ -174,12 +188,14 @@ func main() {
 		if cerr := traceFile.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
+		tick.Stop()
 		if err != nil {
 			failRun(err, *maxCycles)
 		}
 		fmt.Printf("trace: wrote %s (load in https://ui.perfetto.dev)\n", *tracePath)
 	} else {
 		out, rstats, err = prog.RunWith(runCfg, inputs)
+		tick.Stop()
 		if err != nil {
 			failRun(err, *maxCycles)
 		}
@@ -211,6 +227,7 @@ func main() {
 		if m.PipelineBackoff {
 			fmt.Printf("pipeline backoff: %s\n", m.BackoffReason)
 		}
+		fmt.Print(decisionLine(rstats.Decision))
 	}
 
 	if *check {

@@ -99,6 +99,14 @@ type Experiment struct {
 	CompilePhases []PhaseWall       `json:"compile_phases,omitempty"`
 	DominantPhase string            `json:"dominant_phase,omitempty"`
 	Sched         *prof.SchedTotals `json:"sched,omitempty"`
+
+	// Decision is the backend decision audit for run and fabric kinds
+	// (additive, schema version unchanged): which executor ran, why, and
+	// the cost model's predicted wall times beside the measured one.
+	// Wall predictions are host-specific, so the gate never hard-fails
+	// on them; Compare warns when the prediction error exceeds
+	// PredictionErrorWarnFactor.
+	Decision *warp.Decision `json:"decision,omitempty"`
 }
 
 // Report is the top-level artifact.
@@ -124,6 +132,7 @@ func FromRun(name string, m warp.Metrics, rs *warp.RunStats, wall *Wall) Experim
 		MulUtil:   rs.MulUtilization,
 		PeakQueue: rs.MaxQueue,
 		Wall:      wall,
+		Decision:  rs.Decision,
 	}
 }
 
@@ -147,6 +156,7 @@ func FromFabric(name string, m warp.Metrics, fs *warp.FabricStats, wall *Wall) E
 		Makespan:  fs.MakespanCycles,
 		Speedup:   fs.Speedup,
 		Wall:      wall,
+		Decision:  fs.Decision,
 	}
 }
 
@@ -471,6 +481,14 @@ func runFastexec(iters int) (Experiment, error) {
 // with the host, so 2× keeps the signal above cross-machine noise.
 const CompileDriftFactor = 2.0
 
+// PredictionErrorWarnFactor is the cost-model prediction error (the
+// larger of predicted/actual and actual/predicted wall time) past which
+// the gate warns: the backend chooser is running on a model that no
+// longer resembles this host, so its sim-vs-fast picks may be wrong.
+// Fresh-only and advisory — wall predictions are host-specific, so they
+// never hard-fail against a baseline recorded elsewhere.
+const PredictionErrorWarnFactor = 3.0
+
 // FastexecSpeedupFloor is the minimum wall speedup the fast dataflow
 // executor must hold over the cycle-accurate simulator on the fastexec
 // experiment.  Unlike other wall metrics this one IS gated hard: both
@@ -518,6 +536,14 @@ func Compare(base, fresh *Report, cycleThreshold, wallThreshold, compileThreshol
 			v.Regressions = append(v.Regressions,
 				fmt.Sprintf("%s: fast-backend speedup %.1fx fell below the %.0fx floor",
 					f.Name, f.Speedup, FastexecSpeedupFloor))
+		}
+		if d := f.Decision; d != nil {
+			if ef := d.ErrorFactor(); ef > PredictionErrorWarnFactor {
+				v.Warnings = append(v.Warnings,
+					fmt.Sprintf("%s: cost model predicted %s for the %s backend but the run took %s (%.1fx off, warn factor %gx) — recalibrate or revisit the model constants",
+						f.Name, time.Duration(d.PredictedWallNS()), d.Backend,
+						time.Duration(d.ActualWallNS), ef, PredictionErrorWarnFactor))
+			}
 		}
 		b, ok := baseBy[f.Name]
 		if !ok {

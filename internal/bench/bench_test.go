@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"warp"
 )
 
 // TestReportRoundTrip pins the schema: a written report reads back
@@ -135,6 +137,37 @@ func TestCompareGate(t *testing.T) {
 		v := Compare(base, fresh, 0.10, 0.50, 0)
 		if !v.OK() || len(v.Warnings) != 1 {
 			t.Fatalf("new experiment: %+v", v)
+		}
+	})
+
+	t.Run("prediction error warns past the factor", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42,
+				Decision: &warp.Decision{Backend: "fast", Reason: "auto-verified",
+					PredictedFastWallNS: 100_000, ActualWallNS: 400_000}},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
+		if !v.OK() {
+			t.Fatalf("a bad prediction hard-failed the gate: %v", v.Regressions)
+		}
+		joined := strings.Join(v.Warnings, "\n")
+		if !strings.Contains(joined, "cost model predicted") || !strings.Contains(joined, "4.0x off") {
+			t.Errorf("no prediction-error warning at 4x: %v", v.Warnings)
+		}
+	})
+
+	t.Run("prediction error within the factor stays silent", func(t *testing.T) {
+		fresh := rpt(
+			Experiment{Name: "run/a", Cycles: 1000, CellUcode: 40, IUUcode: 42,
+				Decision: &warp.Decision{Backend: "fast", Reason: "auto-verified",
+					PredictedFastWallNS: 100_000, ActualWallNS: 250_000}},
+			Experiment{Name: "run/b", Cycles: 500},
+		)
+		v := Compare(base, fresh, 0.10, 0.50, 0)
+		if strings.Contains(strings.Join(v.Warnings, "\n"), "cost model") {
+			t.Errorf("a 2.5x prediction error warned below the %gx factor: %v",
+				PredictionErrorWarnFactor, v.Warnings)
 		}
 	})
 }

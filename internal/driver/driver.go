@@ -29,6 +29,7 @@ import (
 	"warp/internal/prof"
 	"warp/internal/sim"
 	"warp/internal/skew"
+	"warp/internal/telemetry"
 	"warp/internal/verify"
 	"warp/internal/w2"
 )
@@ -378,12 +379,40 @@ type RunOptions struct {
 	// for the empty string), BackendSim or BackendFast.  The selected
 	// backend is stamped into Stats.Backend.
 	Backend string
+	// Progress, when non-nil, receives coarse position updates while
+	// the run executes (cycles retired, with the modeled total filled
+	// in) plus a terminal update.  nil disables progress reporting at
+	// zero hot-path cost.
+	Progress obs.ProgressFunc
 }
 
 // chooseBackend resolves a RunOptions backend request against the
-// compiled program: which engine runs, or an error for an impossible
-// explicit request.
-func chooseBackend(c *Compiled, o RunOptions) (string, error) {
+// compiled program: which engine runs (or an error for an impossible
+// explicit request), plus the decision audit record — why that engine,
+// and what the host cost model predicts each candidate would cost.
+// The selection policy itself is unchanged from PR 7 (verification
+// status and observability needs decide); the predictions are recorded
+// so their accuracy can be audited before they start driving the
+// choice (ROADMAP: cost-modeled auto-selection).
+func chooseBackend(c *Compiled, o RunOptions) (string, *telemetry.Decision, error) {
+	model := CostModelForHost()
+	d := &telemetry.Decision{
+		PredictedCycles: c.ModeledCycles(),
+		Cells:           c.Cells,
+		Model:           model,
+	}
+	d.PredictedSimWallNS = model.PredictSimNS(d.PredictedCycles, c.Cells)
+	// fillFast completes the fast-executor side of the prediction; it
+	// needs the trace length, so it builds (and caches) the fast plan.
+	fillFast := func() bool {
+		plan, err := c.FastPlan()
+		if err != nil {
+			return false
+		}
+		d.PredictedOps = int64(plan.Ops()) * int64(c.Cells)
+		d.PredictedFastWallNS = model.PredictFastNS(d.PredictedOps)
+		return true
+	}
 	switch b := o.Backend; b {
 	case "", BackendAuto:
 		// The fast path models cycles instead of observing them, so any
@@ -392,26 +421,40 @@ func chooseBackend(c *Compiled, o RunOptions) (string, error) {
 		// shortcut) or one whose trace cannot be built.  Phase-only
 		// recorders (request-trace span adapters) see nothing at run
 		// time and do not block the fast path.
-		if c.Verified == nil || o.Profile || obs.CycleObserved(o.Recorder) {
-			return BackendSim, nil
+		switch {
+		case c.Verified == nil:
+			// No plan build for the prediction either: an unverified
+			// program earns no trace-compilation work.
+			d.Backend, d.Reason = BackendSim, "unverified"
+		case o.Profile:
+			d.Backend, d.Reason = BackendSim, "profile-requested"
+			fillFast()
+		case obs.CycleObserved(o.Recorder):
+			d.Backend, d.Reason = BackendSim, "cycle-recorder"
+			fillFast()
+		case !fillFast():
+			d.Backend, d.Reason = BackendSim, "no-fast-plan"
+		default:
+			d.Backend, d.Reason = BackendFast, "auto-verified"
 		}
-		if _, err := c.FastPlan(); err != nil {
-			return BackendSim, nil
-		}
-		return BackendFast, nil
 	case BackendSim:
-		return BackendSim, nil
+		d.Backend, d.Reason = BackendSim, "explicit-sim"
+		if c.Verified != nil {
+			fillFast() // record what fast would have cost
+		}
 	case BackendFast:
 		if c.Verified == nil {
-			return "", fmt.Errorf("backend %q: %w", b, ErrUnverified)
+			return "", nil, fmt.Errorf("backend %q: %w", b, ErrUnverified)
 		}
-		if _, err := c.FastPlan(); err != nil {
-			return "", fmt.Errorf("backend %q: %w", b, err)
+		if !fillFast() {
+			_, err := c.FastPlan()
+			return "", nil, fmt.Errorf("backend %q: %w", b, err)
 		}
-		return BackendFast, nil
+		d.Backend, d.Reason = BackendFast, "explicit-fast"
 	default:
-		return "", fmt.Errorf("unknown backend %q (want %q, %q or %q)", b, BackendAuto, BackendSim, BackendFast)
+		return "", nil, fmt.Errorf("unknown backend %q (want %q, %q or %q)", b, BackendAuto, BackendSim, BackendFast)
 	}
+	return d.Backend, d, nil
 }
 
 // Run executes the compiled program on the simulated Warp machine.
@@ -432,7 +475,7 @@ func RunObserved(c *Compiled, inputs map[string][]float64, rec obs.Recorder) (ma
 // builds fresh machine state, so one Compiled may run from many
 // goroutines concurrently.
 func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string][]float64, *sim.Stats, error) {
-	backend, err := chooseBackend(c, o)
+	backend, decision, err := chooseBackend(c, o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -440,6 +483,17 @@ func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string
 	if err != nil {
 		return nil, nil, err
 	}
+	// The executors report raw positions; wrap the caller's hook so
+	// every update carries the modeled total (the denominator of a
+	// percent display).  The nil path stays allocation-free.
+	if inner := o.Progress; inner != nil {
+		total := decision.PredictedCycles
+		o.Progress = func(u obs.ProgressUpdate) {
+			u.TotalCycles = total
+			inner(u)
+		}
+	}
+	start := time.Now()
 	var stats *sim.Stats
 	if backend == BackendFast {
 		stats, err = runFast(c, hostMem, o)
@@ -456,12 +510,15 @@ func RunWith(c *Compiled, inputs map[string][]float64, o RunOptions) (map[string
 			Ctx:       o.Ctx,
 			Recorder:  o.Recorder,
 			PCStats:   o.Profile,
+			Progress:  o.Progress,
 		})
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	decision.ActualWallNS = time.Since(start).Nanoseconds()
 	stats.Backend = backend
+	stats.Decision = decision
 	stats.Obs.Phases = c.Phases
 	return interp.ExtractOutputs(c.Info, hostMem), stats, nil
 }
@@ -475,7 +532,7 @@ func runFast(c *Compiled, hostMem []float64, o RunOptions) (*sim.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := plan.Execute(hostMem, fastexec.ExecConfig{Ctx: o.Ctx, MaxCycles: o.MaxCycles})
+	res, err := plan.Execute(hostMem, fastexec.ExecConfig{Ctx: o.Ctx, MaxCycles: o.MaxCycles, Progress: o.Progress})
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"warp/internal/obs"
 	"warp/internal/prof"
 	"warp/internal/sim"
+	"warp/internal/telemetry"
 )
 
 // RunTileFunc executes one tile on one simulated array: it receives
@@ -31,6 +32,11 @@ type TileStats struct {
 	// on profiled runs.  The farm merges every tile's profile into
 	// Stats.Source.
 	Source *prof.SourceProfile
+	// Decision is the tile run's backend decision audit, as stamped by
+	// the driver.  Tiles of one job share one compiled program, so the
+	// farm keeps the first completed tile's decision as the job's
+	// per-tile template (Stats.TileDecision).
+	Decision *telemetry.Decision
 }
 
 // Config sizes and paces the farm.
@@ -47,6 +53,11 @@ type Config struct {
 	// Retryable classifies errors worth retrying; nil means the
 	// default: simulator livelock and a per-tile deadline hit.
 	Retryable func(error) bool
+	// Progress, when non-nil, receives one update per completed tile
+	// (TilesDone/Tiles plus aggregate cycles so far).  Updates are
+	// delivered from the farm's single result-collection loop, so the
+	// callback never runs concurrently with itself.
+	Progress obs.ProgressFunc
 }
 
 // TileError is the structured per-tile failure that fails a job: which
@@ -108,6 +119,19 @@ type Stats struct {
 	// Backend names the executor the tiles ran on ("sim" or "fast" —
 	// uniform across a job, taken from the completed tiles).
 	Backend string
+
+	// TileDecision is the first completed tile's backend decision audit
+	// (one compiled program per job, so every tile decides alike); its
+	// ActualWallNS is that single tile's wall time.  The job-level
+	// decision with whole-job predicted and actual wall is assembled by
+	// the caller (warp.Program.RunPartitioned) into Decision.
+	TileDecision *telemetry.Decision
+	// Decision is the job-level decision audit: the tile decision with
+	// predicted walls scaled to the job's list-scheduled wave count and
+	// ActualWallNS set to the job wall.  Filled by the caller; the
+	// cycle/op inputs stay per-tile (they are what the simulator counts
+	// per tile).
+	Decision *telemetry.Decision
 }
 
 // stagedTile is one unit of queued work: a tile plus its pre-sliced
@@ -217,6 +241,9 @@ func Run(ctx context.Context, pl *Plan, cfg Config, run RunTileFunc) ([]float64,
 		tileOut[r.id] = r.out
 		cycles = append(cycles, r.stats.Cycles)
 		stats.Backend = r.stats.Backend
+		if stats.TileDecision == nil {
+			stats.TileDecision = r.stats.Decision
+		}
 		stats.AggregateCycles += r.stats.Cycles
 		w := float64(r.stats.Cycles)
 		stats.AddUtil += w * r.stats.Summary.AddUtil
@@ -231,6 +258,13 @@ func Run(ctx context.Context, pl *Plan, cfg Config, run RunTileFunc) ([]float64,
 				stats.Source = &prof.SourceProfile{}
 			}
 			stats.Source.Merge(r.stats.Source)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(obs.ProgressUpdate{
+				Cycles:    stats.AggregateCycles,
+				TilesDone: len(cycles),
+				Tiles:     stats.Tiles,
+			})
 		}
 	}
 	stats.StagedWords = stagedWords.Load()

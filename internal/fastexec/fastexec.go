@@ -430,6 +430,13 @@ type ExecConfig struct {
 	// rejected with an error wrapping sim.ErrLivelock, keeping the two
 	// backends' failure behaviour aligned.
 	MaxCycles int64
+	// Progress, when non-nil, receives modeled-cycle position updates
+	// at the same stride the context is polled, plus one final update
+	// when the run completes.  The position is the fraction of the
+	// trace replayed scaled onto the modeled cycle count, so it is
+	// monotone and comparable to the simulator's cycles-retired
+	// counter.  nil keeps the replay loop progress-free.
+	Progress obs.ProgressFunc
 }
 
 // Result reports one execution.
@@ -566,9 +573,10 @@ func (c *cellRun) alu(o *mcode.AluOp, t int64) error {
 
 // execState is the whole-array execution state shared across cells.
 type execState struct {
-	plan    *Plan
-	hostMem []float64
-	ctx     context.Context
+	plan     *Plan
+	hostMem  []float64
+	ctx      context.Context
+	progress obs.ProgressFunc
 
 	mem     []float64 // one cell's data memory, zeroed per cell
 	pstores []pstore
@@ -659,9 +667,10 @@ func (p *Plan) Execute(hostMem []float64, cfg ExecConfig) (*Result, error) {
 	}
 
 	st := &execState{
-		plan:    p,
-		hostMem: hostMem,
-		ctx:     cfg.Ctx,
+		plan:     p,
+		hostMem:  hostMem,
+		ctx:      cfg.Ctx,
+		progress: cfg.Progress,
 		mem:     make([]float64, mcode.MemWords),
 		curX:    make([]float64, 0, p.sendX),
 		curY:    make([]float64, 0, p.sendY),
@@ -676,6 +685,9 @@ func (p *Plan) Execute(hostMem []float64, cfg ExecConfig) (*Result, error) {
 		st.prevX, st.curX = st.curX, st.prevX[:0]
 		st.prevY, st.curY = st.curY, st.prevY[:0]
 		st.xPos, st.yPos = 0, 0
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(obs.ProgressUpdate{Cycles: p.cycles, Done: true})
 	}
 	return p.result(st), nil
 }
@@ -692,11 +704,21 @@ func (p *Plan) runCell(st *execState, idx int) error {
 
 	for oi := range p.ops {
 		o := &p.ops[oi]
-		if st.ctx != nil {
+		if st.ctx != nil || st.progress != nil {
 			st.opCount++
 			if st.opCount%ctxCheckInterval == 1 {
-				if err := st.ctx.Err(); err != nil {
-					return fmt.Errorf("fastexec: run aborted: %w", err)
+				if st.ctx != nil {
+					if err := st.ctx.Err(); err != nil {
+						return fmt.Errorf("fastexec: run aborted: %w", err)
+					}
+				}
+				if st.progress != nil {
+					// The replay visits cells sequentially, so the raw
+					// trace position would jump backwards at each cell
+					// boundary; scale the global op counter onto the
+					// modeled cycle axis for a monotone position.
+					total := int64(len(p.ops)) * int64(p.cells)
+					st.progress(obs.ProgressUpdate{Cycles: p.cycles * st.opCount / total})
 				}
 			}
 		}

@@ -1,0 +1,31 @@
+package obs
+
+// ProgressUpdate is one coarse snapshot of a running execution.  The
+// executors report positions only (cycles retired for the simulator,
+// modeled trace position for the fast executor, completed tiles for the
+// fabric); the layers above fill in totals and terminal state.
+//
+// Updates are delivered synchronously from the execution hot path at a
+// bounded stride (the executors' existing context-poll interval), so
+// consumers must be fast and must not block: hand the value to a
+// channel, an atomic, or a struct under a short-lived lock.
+type ProgressUpdate struct {
+	// Cycles is the machine-cycle position: cycles retired by the
+	// simulator, or the modeled cycle of the fast executor's trace
+	// position.  For fabric jobs it carries aggregate cycles completed.
+	Cycles int64
+	// TotalCycles is the modeled whole-run cycle count when known
+	// (closed form: lead + (cells-1)·skew + cell cycles); 0 if unknown.
+	TotalCycles int64
+	// TilesDone and Tiles report fabric tile completion; both 0 for
+	// single-array runs.
+	TilesDone int
+	Tiles     int
+	// Done marks the terminal update of a finished execution.
+	Done bool
+}
+
+// ProgressFunc receives ProgressUpdates.  A nil ProgressFunc disables
+// progress reporting entirely: every emission site guards with a nil
+// check, so the disabled path costs one branch and zero allocations.
+type ProgressFunc func(ProgressUpdate)

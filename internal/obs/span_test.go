@@ -194,6 +194,67 @@ func TestSummarizeZeroProfile(t *testing.T) {
 	}
 }
 
+// TestSummarizePartialProfile covers profiles a failed or truncated run
+// leaves behind: cycles counted but no per-cell records, a mix of
+// active and never-started cells, fewer cell records than the declared
+// cell count.  Every fraction must stay finite and within [0, 1].
+func TestSummarizePartialProfile(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Profile
+	}{
+		{"cycles-no-cells", &Profile{Cycles: 500, Cells: 4}},
+		{"some-cells-idle", &Profile{Cycles: 100, Cells: 3, Cell: []CellProfile{
+			{Busy: 40, Starved: 10, Bubble: 5, AddOps: 30, MulOps: 25},
+			{}, // never started
+			{Busy: 20, Bubble: 20},
+		}}},
+		{"fewer-records-than-cells", &Profile{Cycles: 200, Cells: 8, Cell: []CellProfile{
+			{Busy: 50, AddOps: 50, MulOps: 50},
+		}}},
+		{"all-starved", &Profile{Cycles: 64, Cells: 1, Cell: []CellProfile{
+			{Starved: 64},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.p.Summarize()
+			if s.Cycles != tc.p.Cycles || s.Cells != tc.p.Cells {
+				t.Errorf("summary carries cycles=%d cells=%d, want %d/%d",
+					s.Cycles, s.Cells, tc.p.Cycles, tc.p.Cells)
+			}
+			for name, v := range map[string]float64{
+				"BusyFrac": s.BusyFrac, "AddUtil": s.AddUtil, "MulUtil": s.MulUtil,
+				"StarvedFrac": s.StarvedFrac, "BubbleFrac": s.BubbleFrac,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+				if v < 0 || v > 1 {
+					t.Errorf("%s = %v, want within [0, 1]", name, v)
+				}
+			}
+			// Busy, starved and bubble partition the active window.
+			if total := s.BusyFrac + s.StarvedFrac + s.BubbleFrac; total > 1.0001 {
+				t.Errorf("stall attribution sums to %v, want <= 1", total)
+			}
+		})
+	}
+
+	// Spot-check the mixed case's arithmetic: active = 40+10+5 + 0 +
+	// 20+20 = 95; busy 60/95, starved 10/95.
+	s := cases[1].p.Summarize()
+	if got, want := s.BusyFrac, 60.0/95.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed-case BusyFrac = %v, want %v", got, want)
+	}
+	if got, want := s.StarvedFrac, 10.0/95.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed-case StarvedFrac = %v, want %v", got, want)
+	}
+	if got, want := s.AddUtil, 30.0/95.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed-case AddUtil = %v, want %v", got, want)
+	}
+}
+
 // failingWriter errors every write after the first n bytes have been
 // accepted, simulating a disk filling up mid-stream.
 type failingWriter struct {

@@ -31,6 +31,10 @@ type RequestRecord struct {
 	// from /debug/requests/{id}/profile instead.
 	HasProfile bool                `json:"has_profile,omitempty"`
 	Source     *warp.SourceProfile `json:"-"`
+	// Decision is the run's backend decision audit: the chosen executor,
+	// the reason, and the cost model's predicted wall times beside the
+	// measured one.
+	Decision *warp.Decision `json:"decision,omitempty"`
 }
 
 // flightRecorder is a fixed-size ring of the last N RequestRecords —

@@ -8,73 +8,23 @@ import (
 
 	"warp/internal/obs"
 	"warp/internal/prof"
+	"warp/internal/telemetry"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, covering
-// sub-millisecond compiles through multi-second simulations.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-	0.25, 0.5, 1, 2.5, 5, 10,
+// decisionKey identifies one backend-decision series: which executor
+// was chosen and why.
+type decisionKey struct {
+	backend string
+	reason  string
 }
-
-// histogram is a fixed-bucket latency histogram in Prometheus
-// cumulative form.  Callers hold the owning Metrics lock.
-type histogram struct {
-	counts []int64 // one per bucket bound; +Inf is implicit in total
-	total  int64
-	sum    float64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets))}
-}
-
-func (h *histogram) observe(seconds float64) {
-	for i, le := range latencyBuckets {
-		if seconds <= le {
-			h.counts[i]++
-		}
-	}
-	h.total++
-	h.sum += seconds
-}
-
-// quantile estimates the q-quantile (0..1) from the bucket counts,
-// returning the upper bound of the first bucket whose cumulative count
-// reaches the target.  An empty histogram yields 0; samples beyond the
-// last bound yield the last bound (good enough for a backoff hint).
-func (h *histogram) quantile(q float64) float64 {
-	if h.total == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.total))
-	for i, le := range latencyBuckets {
-		if h.counts[i] > target {
-			return le
-		}
-	}
-	return latencyBuckets[len(latencyBuckets)-1]
-}
-
-// write renders the histogram in Prometheus text format under name.
-func (h *histogram) write(w io.Writer, name string) {
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	for i, le := range latencyBuckets {
-		// observe increments every bucket at or above the sample, so
-		// counts are already cumulative as the format requires.
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), h.counts[i])
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
-}
-
-func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
 
 // Metrics aggregates everything the daemon exports at /metrics: request
-// counters by outcome, compile/run latency histograms, and the per-run
-// obs.Summary aggregates (simulated cycles, FPU utilization, peak queue
-// occupancy).  All methods are safe for concurrent use.
+// counters by outcome, the compile/run/queue-wait latency histograms
+// (telemetry.Histogram families keyed by cache result and backend), the
+// backend decision audit (decision counts plus cost-model prediction
+// error), and the per-run obs.Summary aggregates (simulated cycles, FPU
+// utilization, peak queue occupancy).  All methods are safe for
+// concurrent use.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -82,8 +32,20 @@ type Metrics struct {
 	runs     map[string]int64 // result label -> count (ok|error|timeout|rejected)
 	backends map[string]int64 // backend label -> completed runs (sim|fast)
 
-	compileLatency *histogram
-	runLatency     *histogram
+	// Latency histogram families: compiles keyed by cache result
+	// (hit|miss|rejected), completed runs keyed by backend (sim|fast),
+	// and the admission-queue wait for every pooled request.
+	compileLatency map[string]*telemetry.Histogram
+	runLatency     map[string]*telemetry.Histogram
+	queueWait      *telemetry.Histogram
+
+	// Backend decision audit: how often each (backend, reason) pair was
+	// chosen, and how far the cost model's predicted wall strayed from
+	// the measured one (error factor = max(actual/pred, pred/actual)).
+	decisions    map[decisionKey]int64
+	predErrSum   map[string]float64 // backend -> summed error factors
+	predErrCount map[string]int64
+	predErrMax   map[string]float64
 
 	// Per-compile-phase accumulated wall-clock time and counts (parse,
 	// cellgen, verify, ...), from the driver's phase records.
@@ -123,19 +85,36 @@ func NewMetrics() *Metrics {
 		compiles:       map[string]int64{},
 		runs:           map[string]int64{},
 		backends:       map[string]int64{},
-		compileLatency: newHistogram(),
-		runLatency:     newHistogram(),
+		compileLatency: map[string]*telemetry.Histogram{},
+		runLatency:     map[string]*telemetry.Histogram{},
+		queueWait:      telemetry.NewLatency(),
+		decisions:      map[decisionKey]int64{},
+		predErrSum:     map[string]float64{},
+		predErrCount:   map[string]int64{},
+		predErrMax:     map[string]float64{},
 		phaseSeconds:   map[string]float64{},
 		phaseCounts:    map[string]int64{},
 		fabricJobs:     map[string]int64{},
 	}
 }
 
-// Fabric records one partitioned-run job: the outcome label plus the
-// job's tile counters (planned, attempts started, retries, failures)
-// and aggregate simulated cycles.  Failed or timed-out jobs still
-// contribute the tile attempts they made before the job died.
-func (m *Metrics) Fabric(result string, seconds float64, tiles, dispatched, retried, failed int, aggCycles int64) {
+// hist returns the family member for key, creating it on first use so
+// the exposition only carries series for outcomes that happened.
+func hist(m map[string]*telemetry.Histogram, key string) *telemetry.Histogram {
+	h := m[key]
+	if h == nil {
+		h = telemetry.NewLatency()
+		m[key] = h
+	}
+	return h
+}
+
+// Fabric records one partitioned-run job: the outcome label, the
+// backend the tiles ran on, plus the job's tile counters (planned,
+// attempts started, retries, failures) and aggregate simulated cycles.
+// Failed or timed-out jobs still contribute the tile attempts they made
+// before the job died.
+func (m *Metrics) Fabric(result, backend string, seconds float64, tiles, dispatched, retried, failed int, aggCycles int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.fabricJobs[result]++
@@ -145,7 +124,10 @@ func (m *Metrics) Fabric(result string, seconds float64, tiles, dispatched, retr
 	m.fabricFailed += int64(failed)
 	m.fabricCycles += aggCycles
 	if result == "ok" {
-		m.runLatency.observe(seconds)
+		if backend == "" {
+			backend = "unknown"
+		}
+		hist(m.runLatency, backend).Observe(seconds)
 	}
 }
 
@@ -157,7 +139,7 @@ func (m *Metrics) Compile(result string, seconds float64) {
 	defer m.mu.Unlock()
 	m.compiles[result]++
 	if result != "error" {
-		m.compileLatency.observe(seconds)
+		hist(m.compileLatency, result).Observe(seconds)
 	}
 }
 
@@ -195,15 +177,19 @@ func (m *Metrics) CompileSched(t prof.SchedTotals) {
 }
 
 // Run records one run request outcome ("ok", "error", "timeout",
-// "rejected") and, for completed runs, the latency and run summary.
-func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
+// "rejected") and, for completed runs, the backend-labelled latency and
+// run summary.
+func (m *Metrics) Run(result, backend string, seconds float64, sum obs.Summary) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.runs[result]++
 	if result != "ok" {
 		return
 	}
-	m.runLatency.observe(seconds)
+	if backend == "" {
+		backend = "unknown"
+	}
+	hist(m.runLatency, backend).Observe(seconds)
 	m.simCycles += sum.Cycles
 	m.addUtilSum += sum.AddUtil
 	m.mulUtilSum += sum.MulUtil
@@ -213,6 +199,14 @@ func (m *Metrics) Run(result string, seconds float64, sum obs.Summary) {
 		m.peakQueue = sum.PeakQueue
 		m.peakQueueAt = sum.PeakQueueAt
 	}
+}
+
+// QueueWait records one pooled request's admission-queue wait — the
+// time between submission and a worker picking the job up.
+func (m *Metrics) QueueWait(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.Observe(seconds)
 }
 
 // Backend records which executor completed a run ("sim" or "fast");
@@ -226,13 +220,47 @@ func (m *Metrics) Backend(backend string) {
 	m.backends[backend]++
 }
 
-// MedianRunSeconds estimates the median completed-run service time from
-// the latency histogram — the observed-load signal behind the 429
-// Retry-After hint.  0 means no run has completed yet.
-func (m *Metrics) MedianRunSeconds() float64 {
+// Decision folds one completed run's backend decision audit into the
+// registry: the (backend, reason) choice counter plus, when the run
+// carries both a prediction and a measured wall, the prediction error
+// factor.
+func (m *Metrics) Decision(d *telemetry.Decision) {
+	if d == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.runLatency.quantile(0.5)
+	m.decisions[decisionKey{d.Backend, d.Reason}]++
+	if f := d.ErrorFactor(); f > 0 {
+		m.predErrSum[d.Backend] += f
+		m.predErrCount[d.Backend]++
+		if f > m.predErrMax[d.Backend] {
+			m.predErrMax[d.Backend] = f
+		}
+	}
+}
+
+// MedianRunSeconds estimates the median completed-run service time from
+// the merged per-backend latency histograms — the observed-load signal
+// behind the 429 Retry-After hint.  0 means no run has completed yet.
+func (m *Metrics) MedianRunSeconds() float64 {
+	return m.RunQuantileSeconds(0.5)
+}
+
+// RunQuantileSeconds estimates the q-quantile of completed-run service
+// time across all backends.
+func (m *Metrics) RunQuantileSeconds(q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hs := make([]*telemetry.Histogram, 0, len(m.runLatency))
+	for _, h := range m.runLatency {
+		hs = append(hs, h)
+	}
+	merged := telemetry.MergeAll(hs...)
+	if merged == nil {
+		return 0
+	}
+	return merged.Quantile(q)
 }
 
 // WritePrometheus renders the registry, plus the given cache and pool
@@ -253,8 +281,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# TYPE warpd_backend_runs_total counter\n")
 	writeLabelled(w, "warpd_backend_runs_total", "backend", m.backends)
 
-	fmt.Fprintf(w, "# HELP warpd_compile_seconds Compile request service time.\n")
-	m.compileLatency.write(w, "warpd_compile_seconds")
+	telemetry.WriteVec(w, "warpd_compile_seconds",
+		"Compile request service time by cache result.", "result", m.compileLatency)
+
+	m.writeDecisions(w)
 
 	if len(m.phaseCounts) > 0 {
 		fmt.Fprintf(w, "# HELP warpd_compile_phase_seconds_total Accumulated wall-clock time per compiler phase.\n")
@@ -310,8 +340,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# TYPE warpd_sched_skew_seconds_total counter\n")
 	fmt.Fprintf(w, "warpd_sched_skew_seconds_total %s\n", formatFloat(float64(m.sched.SkewNS)/1e9))
 
-	fmt.Fprintf(w, "# HELP warpd_run_seconds Run request service time.\n")
-	m.runLatency.write(w, "warpd_run_seconds")
+	telemetry.WriteVec(w, "warpd_run_seconds",
+		"Run request service time by execution backend.", "backend", m.runLatency)
+	telemetry.Write(w, "warpd_queue_wait_seconds",
+		"Admission-queue wait of pooled requests.", m.queueWait)
 
 	fmt.Fprintf(w, "# HELP warpd_cache_entries Compiled programs resident in the cache.\n")
 	fmt.Fprintf(w, "# TYPE warpd_cache_entries gauge\n")
@@ -380,6 +412,49 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# TYPE warpd_fabric_cycles_total counter\n")
 	fmt.Fprintf(w, "warpd_fabric_cycles_total %d\n", m.fabricCycles)
 }
+
+// writeDecisions renders the decision counter (two labels, so it
+// bypasses writeLabelled) and the prediction-error aggregates.  The
+// error family is a summary — _sum/_count per backend gives the mean
+// error factor — with the worst single miss as a separate gauge.
+func (m *Metrics) writeDecisions(w io.Writer) {
+	fmt.Fprintf(w, "# HELP warpd_decision_total Backend decisions by chosen backend and reason.\n")
+	fmt.Fprintf(w, "# TYPE warpd_decision_total counter\n")
+	keys := make([]decisionKey, 0, len(m.decisions))
+	for k := range m.decisions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].backend != keys[j].backend {
+			return keys[i].backend < keys[j].backend
+		}
+		return keys[i].reason < keys[j].reason
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "warpd_decision_total{backend=%q,reason=%q} %d\n", k.backend, k.reason, m.decisions[k])
+	}
+	if len(m.predErrCount) == 0 {
+		return
+	}
+	backends := make([]string, 0, len(m.predErrCount))
+	for b := range m.predErrCount {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	fmt.Fprintf(w, "# HELP warpd_prediction_error_ratio Cost-model wall-time misprediction factor, max(actual/predicted, predicted/actual), over completed runs.\n")
+	fmt.Fprintf(w, "# TYPE warpd_prediction_error_ratio summary\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "warpd_prediction_error_ratio_sum{backend=%q} %s\n", b, formatFloat(m.predErrSum[b]))
+		fmt.Fprintf(w, "warpd_prediction_error_ratio_count{backend=%q} %d\n", b, m.predErrCount[b])
+	}
+	fmt.Fprintf(w, "# HELP warpd_prediction_error_max Worst single-run misprediction factor per backend.\n")
+	fmt.Fprintf(w, "# TYPE warpd_prediction_error_max gauge\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "warpd_prediction_error_max{backend=%q} %s\n", b, formatFloat(m.predErrMax[b]))
+	}
+}
+
+func formatFloat(f float64) string { return telemetry.FormatFloat(f) }
 
 // writeLabelled emits one sample per label value in sorted order, so
 // the output is deterministic and scrape-diff friendly.

@@ -59,14 +59,15 @@ type Config struct {
 // Server is the compile-and-run service: an http.Handler in front of
 // the compile cache and the simulation worker pool.
 type Server struct {
-	cache   *Cache
-	pool    *Pool
-	metrics *Metrics
-	cfg     Config
-	mux     *http.ServeMux
-	log     *slog.Logger
-	flight  *flightRecorder
-	seq     atomic.Int64 // request-ID counter
+	cache    *Cache
+	pool     *Pool
+	metrics  *Metrics
+	cfg      Config
+	mux      *http.ServeMux
+	log      *slog.Logger
+	flight   *flightRecorder
+	progress *progressHub
+	seq      atomic.Int64 // request-ID counter
 }
 
 // New builds a Server from the config, applying defaults for zero
@@ -98,13 +99,14 @@ func New(cfg Config) *Server {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		cache:   NewCache(cfg.CacheSize, cfg.Compile),
-		pool:    NewPool(cfg.Workers, cfg.QueueCap),
-		metrics: NewMetrics(),
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		log:     logger,
-		flight:  newFlightRecorder(cfg.FlightSize),
+		cache:    NewCache(cfg.CacheSize, cfg.Compile),
+		pool:     NewPool(cfg.Workers, cfg.QueueCap),
+		metrics:  NewMetrics(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		log:      logger,
+		flight:   newFlightRecorder(cfg.FlightSize),
+		progress: newProgressHub(cfg.FlightSize),
 	}
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /run", s.handleRun)
@@ -112,8 +114,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
 	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugTrace)
 	s.mux.HandleFunc("GET /debug/requests/{id}/profile", s.handleDebugProfile)
+	s.mux.HandleFunc("GET /debug/requests/{id}/progress", s.handleRequestProgress)
+	s.mux.HandleFunc("GET /debug/progress", s.handleDebugProgress)
 	return s
 }
 
@@ -241,14 +246,17 @@ type RunStatsJSON struct {
 
 // RunResponse carries the outputs and statistics of one run.  Fabric
 // is set only for partitioned runs; Request names the flight record a
-// profiled run's download URL is built from.
+// profiled run's download URL is built from; Decision is the backend
+// decision audit — which executor ran the program, why, and the cost
+// model's predicted wall times beside the measured one.
 type RunResponse struct {
-	Program string               `json:"program"`
-	Cached  bool                 `json:"cached"`
-	Outputs map[string][]float64 `json:"outputs"`
-	Stats   RunStatsJSON         `json:"stats"`
-	Fabric  *FabricJSON          `json:"fabric,omitempty"`
-	Request string               `json:"request,omitempty"`
+	Program  string               `json:"program"`
+	Cached   bool                 `json:"cached"`
+	Outputs  map[string][]float64 `json:"outputs"`
+	Stats    RunStatsJSON         `json:"stats"`
+	Fabric   *FabricJSON          `json:"fabric,omitempty"`
+	Request  string               `json:"request,omitempty"`
+	Decision *warp.Decision       `json:"decision,omitempty"`
 }
 
 // BatchRequest runs several requests through the pool concurrently.
@@ -454,11 +462,15 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	defer cancel()
 
 	rc := s.beginRequest(endpoint)
+	ent := s.progress.register(rc.id)
+	// Whatever path the request dies on, the progress stream must end
+	// with a terminal event (a no-op when the run delivered its own).
+	defer ent.finish()
 	cacheSpan := rc.tr.StartSpan("cache", rc.root)
 	prog, key, hit, err := s.resolve(ctx, req, obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
 		cacheSpan.End()
-		s.metrics.Run("error", 0, obsSummaryZero)
+		s.metrics.Run("error", "", 0, obsSummaryZero)
 		s.finishRequest(rc, err)
 		return nil, err
 	}
@@ -475,13 +487,14 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 		maxCycles = req.MaxCycles
 	}
 	if req.Partition != nil {
-		return s.runPartitioned(ctx, rc, req, prog, key, hit, maxCycles)
+		return s.runPartitioned(ctx, rc, ent, req, prog, key, hit, maxCycles)
 	}
 
 	var resp *RunResponse
 	start := time.Now()
 	queueSpan := rc.tr.StartSpan("queue-wait", rc.root)
 	err = s.pool.Do(ctx, func(ctx context.Context) error {
+		s.metrics.QueueWait(time.Since(start).Seconds())
 		queueSpan.End() // admitted: the wait is over
 		runSpan := rc.tr.StartSpan("run", rc.root)
 		defer runSpan.End()
@@ -490,21 +503,25 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 			MaxCycles: maxCycles,
 			Profile:   req.Profile,
 			Backend:   req.Backend,
+			Progress:  ent.publish,
 		}, req.Inputs)
 		if err != nil {
 			runSpan.Annotate("error", err.Error())
 			return err
 		}
 		runSpan.Annotate("backend", rs.Backend)
+		annotateDecision(runSpan, rs.Decision)
 		sum := rs.Profile.Summarize()
 		runSpan.AttachSummary(sum)
 		rc.cycles = rs.Cycles
 		rc.source = rs.Source
+		rc.decision = rs.Decision
 		resp = &RunResponse{
-			Program: key,
-			Cached:  hit,
-			Outputs: out,
-			Request: rc.id,
+			Program:  key,
+			Cached:   hit,
+			Outputs:  out,
+			Request:  rc.id,
+			Decision: rs.Decision,
 			Stats: RunStatsJSON{
 				Cycles:         rs.Cycles,
 				Backend:        rs.Backend,
@@ -514,8 +531,9 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 				MulUtilization: rs.MulUtilization,
 			},
 		}
-		s.metrics.Run("ok", time.Since(start).Seconds(), sum)
+		s.metrics.Run("ok", rs.Backend, time.Since(start).Seconds(), sum)
 		s.metrics.Backend(rs.Backend)
+		s.metrics.Decision(rs.Decision)
 		return nil
 	})
 	// End is idempotent: on the rejected/deadline paths the span is
@@ -524,17 +542,31 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.metrics.Run("timeout", 0, obsSummaryZero)
+			s.metrics.Run("timeout", "", 0, obsSummaryZero)
 		case errors.Is(err, ErrBusy):
-			s.metrics.Run("rejected", 0, obsSummaryZero)
+			s.metrics.Run("rejected", "", 0, obsSummaryZero)
 		default:
-			s.metrics.Run("error", 0, obsSummaryZero)
+			s.metrics.Run("error", "", 0, obsSummaryZero)
 		}
 		s.finishRequest(rc, err)
 		return nil, err
 	}
 	s.finishRequest(rc, nil)
 	return resp, nil
+}
+
+// annotateDecision stamps the backend decision audit onto the run span
+// so the flight recorder's trace carries the predicted-vs-actual story.
+func annotateDecision(sp *obs.Span, d *warp.Decision) {
+	if d == nil {
+		return
+	}
+	sp.Annotate("decision", d.Reason)
+	sp.Annotate("predicted_wall_ns", fmt.Sprint(d.PredictedWallNS()))
+	sp.Annotate("actual_wall_ns", fmt.Sprint(d.ActualWallNS))
+	if f := d.ErrorFactor(); f > 0 {
+		sp.Annotate("prediction_error", fmt.Sprintf("%.2f", f))
+	}
 }
 
 // buildProblem maps a partitioned request's full-size inputs onto the
@@ -577,7 +609,7 @@ func buildProblem(prog *warp.Program, req *RunRequest) (warp.Problem, error) {
 // runPartitioned is runOne's tail for partition requests: the resolved
 // program becomes the tile kernel and the farm runs inside one pool
 // slot (its internal concurrency is the fabric's own array count).
-func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunRequest, prog *warp.Program, key string, hit bool, maxCycles int64) (*RunResponse, error) {
+func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, ent *progressEntry, req *RunRequest, prog *warp.Program, key string, hit bool, maxCycles int64) (*RunResponse, error) {
 	arrays := req.Partition.Arrays
 	if arrays <= 0 {
 		arrays = s.cfg.Arrays
@@ -588,7 +620,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 	}
 	prob, err := buildProblem(prog, req)
 	if err != nil {
-		s.metrics.Fabric("error", 0, 0, 0, 0, 0, 0)
+		s.metrics.Fabric("error", "", 0, 0, 0, 0, 0, 0)
 		s.finishRequest(rc, err)
 		return nil, err
 	}
@@ -597,6 +629,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 	start := time.Now()
 	queueSpan := rc.tr.StartSpan("queue-wait", rc.root)
 	err = s.pool.Do(ctx, func(ctx context.Context) error {
+		s.metrics.QueueWait(time.Since(start).Seconds())
 		queueSpan.End()
 		runSpan := rc.tr.StartSpan("fabric", rc.root)
 		defer runSpan.End()
@@ -609,6 +642,7 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 			TileDeadline: time.Duration(req.Partition.TileDeadlineMS) * time.Millisecond,
 			Profile:      req.Profile,
 			Backend:      req.Backend,
+			Progress:     ent.publish,
 		}, prob)
 		if fs != nil {
 			runSpan.Annotate("tiles", fmt.Sprint(fs.Tiles))
@@ -620,20 +654,23 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 				result = "timeout"
 			}
 			if fs != nil {
-				s.metrics.Fabric(result, 0, fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
+				s.metrics.Fabric(result, fs.Backend, 0, fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
 			} else {
-				s.metrics.Fabric(result, 0, 0, 0, 0, 0, 0)
+				s.metrics.Fabric(result, "", 0, 0, 0, 0, 0, 0)
 			}
 			return err
 		}
 		runSpan.Annotate("backend", fs.Backend)
+		annotateDecision(runSpan, fs.Decision)
 		rc.cycles = fs.AggregateCycles
 		rc.source = fs.Source
+		rc.decision = fs.Decision
 		resp = &RunResponse{
-			Program: key,
-			Cached:  hit,
-			Outputs: out,
-			Request: rc.id,
+			Program:  key,
+			Cached:   hit,
+			Outputs:  out,
+			Request:  rc.id,
+			Decision: fs.Decision,
 			Stats: RunStatsJSON{
 				Cycles:         fs.MakespanCycles,
 				Backend:        fs.Backend,
@@ -654,14 +691,15 @@ func (s *Server) runPartitioned(ctx context.Context, rc *requestCtx, req *RunReq
 				StagedWords:     fs.StagedWords,
 			},
 		}
-		s.metrics.Fabric("ok", time.Since(start).Seconds(), fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
+		s.metrics.Fabric("ok", fs.Backend, time.Since(start).Seconds(), fs.Tiles, fs.Dispatched, fs.Retried, fs.Failed, fs.AggregateCycles)
 		s.metrics.Backend(fs.Backend)
+		s.metrics.Decision(fs.Decision)
 		return nil
 	})
 	queueSpan.End()
 	if err != nil {
 		if errors.Is(err, ErrBusy) {
-			s.metrics.Fabric("rejected", 0, 0, 0, 0, 0, 0)
+			s.metrics.Fabric("rejected", "", 0, 0, 0, 0, 0, 0)
 		}
 		s.finishRequest(rc, err)
 		return nil, err

@@ -25,6 +25,7 @@ type requestCtx struct {
 	cached   bool
 	cycles   int64
 	source   *warp.SourceProfile // set when the request ran with profiling
+	decision *warp.Decision      // backend decision audit, once the run completed
 }
 
 // beginRequest assigns a request ID and opens the root span.  When the
@@ -72,6 +73,7 @@ func (s *Server) finishRequest(rc *requestCtx, err error) {
 		Cycles:   rc.cycles,
 		TotalNS:  total,
 		Spans:    spans,
+		Decision: rc.decision,
 	}
 	if rc.source != nil {
 		rec.HasProfile = true
@@ -163,6 +165,18 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Requests []*RequestRecord `json:"requests"`
 	}{s.flight.snapshot()})
+}
+
+// handleDebugRequest serves one recorded request's full flight record —
+// outcome, span tree, and backend decision audit.
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.flight.get(id)
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no recorded request %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // handleDebugTrace serves one recorded request as a Chrome trace-event

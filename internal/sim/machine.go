@@ -8,6 +8,7 @@ import (
 	"warp/internal/hostgen"
 	"warp/internal/mcode"
 	"warp/internal/obs"
+	"warp/internal/telemetry"
 	"warp/internal/w2"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// Stats.Obs.PC.  Off by default — the hot-path cost when off is one
 	// nil check per cycle per cell.
 	PCStats bool
+	// Progress, when non-nil, receives a cycles-retired update at the
+	// same stride the context is polled, plus one final update when the
+	// run completes.  nil keeps the hot path progress-free (one branch,
+	// no allocations).
+	Progress obs.ProgressFunc
 }
 
 // Stats reports the outcome of a run.
@@ -66,7 +72,12 @@ type Stats struct {
 	// executor (internal/fastexec).  sim.Run leaves it empty; the
 	// driver stamps it when it selects the backend.
 	Backend string
-	Cycles  int64 // total cycles until the last cell finished
+	// Decision is the backend decision audit for this run: why this
+	// backend, the cost model's predicted wall for each candidate, and
+	// the actual wall once complete.  sim.Run leaves it nil; the driver
+	// stamps it beside Backend.
+	Decision *telemetry.Decision
+	Cycles   int64 // total cycles until the last cell finished
 	// CellFinish is the absolute cycle each cell finished at.
 	CellFinish []int64
 	// MaxQueue is the peak occupancy over the data queues (X and Y),
@@ -239,9 +250,14 @@ func Run(cfg Config) (*Stats, error) {
 		if m.now > cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles; the machine is %w", cfg.MaxCycles, ErrLivelock)
 		}
-		if cfg.Ctx != nil && m.now%ctxCheckInterval == 0 {
-			if err := cfg.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, err)
+		if m.now%ctxCheckInterval == 0 {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, err)
+				}
+			}
+			if cfg.Progress != nil && m.now > 0 {
+				cfg.Progress(obs.ProgressUpdate{Cycles: m.now})
 			}
 		}
 		if err := m.cycle(stats); err != nil {
@@ -250,6 +266,9 @@ func Run(cfg Config) (*Stats, error) {
 		m.now++
 	}
 	stats.Cycles = m.now
+	if cfg.Progress != nil {
+		cfg.Progress(obs.ProgressUpdate{Cycles: m.now, Done: true})
+	}
 	if m.trace {
 		m.rec.RunEnd(m.now)
 	}

@@ -81,7 +81,7 @@ func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]floa
 		if err != nil {
 			return nil, fabric.TileStats{}, err
 		}
-		ts := fabric.TileStats{Cycles: stats.Cycles, Backend: stats.Backend}
+		ts := fabric.TileStats{Cycles: stats.Cycles, Backend: stats.Backend, Decision: stats.Decision}
 		if stats.Obs != nil {
 			ts.Summary = stats.Obs.Summarize()
 			if cfg.Profile {
@@ -94,11 +94,45 @@ func (p *Program) RunPartitioned(cfg RunConfig, prob Problem) (map[string][]floa
 		Arrays:   cfg.Arrays,
 		Deadline: cfg.TileDeadline,
 		Retries:  cfg.TileRetries,
+		Progress: cfg.Progress,
 	}, run)
+	if stats != nil {
+		stats.Decision = jobDecision(stats)
+	}
 	if err != nil {
 		return nil, stats, err
 	}
+	if cfg.Progress != nil && stats != nil {
+		cfg.Progress(ProgressUpdate{
+			Cycles:    stats.AggregateCycles,
+			TilesDone: stats.Tiles - stats.Failed,
+			Tiles:     stats.Tiles,
+			Done:      true,
+		})
+	}
 	return map[string][]float64{pl.OutName(): out}, stats, nil
+}
+
+// jobDecision lifts the per-tile backend decision to the job: the
+// cycle/op inputs stay per-tile (each matches what the simulator counts
+// for one tile), the predicted walls scale by the list-scheduled wave
+// count (tiles over arrays, rounded up), and the actual wall is the
+// job's.
+func jobDecision(stats *FabricStats) *Decision {
+	td := stats.TileDecision
+	if td == nil {
+		return nil
+	}
+	d := *td
+	arrays := stats.Arrays
+	if arrays < 1 {
+		arrays = 1
+	}
+	waves := int64((stats.Tiles + arrays - 1) / arrays)
+	d.PredictedSimWallNS *= waves
+	d.PredictedFastWallNS *= waves
+	d.ActualWallNS = stats.WallNS
+	return &d
 }
 
 // partitionPlan builds the tile plan for prob against this program's

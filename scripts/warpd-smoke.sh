@@ -60,14 +60,62 @@ curl -sf "$BASE/debug/requests/$RUNID/trace" | jq -e '.traceEvents | length > 0'
   { echo "FAIL: per-request Chrome trace download is not valid JSON" >&2; exit 1; }
 echo "debug/requests: ok ($NREQ records, trace download ok)"
 
+# The run response and the flight record both carry the backend
+# decision audit: which executor ran, why, and the cost model's
+# prediction beside the measured wall.
+echo "$RUN" | jq -e '.decision.backend != null and .decision.reason != null and .decision.actual_wall_ns > 0' >/dev/null ||
+  { echo "FAIL: run response has no backend decision audit" >&2; exit 1; }
+curl -sf "$BASE/debug/requests/$RUNID" | jq -e '.decision.reason != null' >/dev/null ||
+  { echo "FAIL: /debug/requests/{id} record has no decision" >&2; exit 1; }
+echo "decision: $(echo "$RUN" | jq -r '"backend \(.decision.backend) (\(.decision.reason))"')"
+
+# Live progress: launch a partitioned matmul (25 tiles of the 8-cell
+# kernel — long enough to stream) and attach an SSE watcher mid-run.
+# The stream must deliver at least one event and terminate with an
+# `event: done` frame; this holds even if the run wins the race and
+# finishes first, because a late subscriber gets the terminal snapshot
+# as its lone event.
+jq -Rs '{source: ., inputs: {a: [range(1600)|./40], bmat: [range(1600)|./41]},
+         partition: {workload: "matmul", m: 40, k: 40, n: 40}}' \
+  testdata/matmul8.w2 > "$TMP/fabric.json"
+curl -sf -X POST --data @"$TMP/fabric.json" "$BASE/run" >/dev/null &
+RUN_BG=$!
+PROGID=""
+for i in $(seq 1 100); do
+  PROGID=$(curl -sf "$BASE/debug/progress" | jq -r '[.progress[] | select(.done | not)] | .[0].id // empty')
+  if [ -n "$PROGID" ]; then break; fi
+  # The run may already be over; take any tracked entry.
+  PROGID=$(curl -sf "$BASE/debug/progress" | jq -r '.progress[-1].id // empty')
+  if [ -n "$PROGID" ] && ! kill -0 "$RUN_BG" 2>/dev/null; then break; fi
+  sleep 0.05
+done
+[ -n "$PROGID" ] || { echo "FAIL: run never appeared in /debug/progress" >&2; exit 1; }
+SSE=$(curl -sf -N --max-time 30 "$BASE/debug/requests/$PROGID/progress")
+wait "$RUN_BG" || { echo "FAIL: background partitioned run failed" >&2; exit 1; }
+NDATA=$(echo "$SSE" | grep -c '^data: ' || true)
+[ "$NDATA" -ge 1 ] || { echo "FAIL: SSE stream delivered $NDATA events, want >= 1" >&2; exit 1; }
+echo "$SSE" | grep -q '^event: done' ||
+  { echo "FAIL: SSE stream did not terminate with a done event" >&2; exit 1; }
+echo "$SSE" | tail -n 2 | grep -q '"done":true' ||
+  { echo "FAIL: terminal SSE payload is not marked done" >&2; exit 1; }
+echo "progress: SSE streamed $NDATA event(s), terminal done frame ok"
+
 METRICS=$(curl -sf "$BASE/metrics")
 echo "$METRICS" | grep -q 'warpd_compile_requests_total{result="hit"} 1' ||
   { echo "FAIL: /metrics does not report the compile cache hit" >&2; exit 1; }
-echo "$METRICS" | grep -q 'warpd_run_requests_total{result="ok"} 1' ||
+echo "$METRICS" | grep -q 'warpd_run_requests_total{result="ok"}' ||
   { echo "FAIL: /metrics does not report the completed run" >&2; exit 1; }
 echo "$METRICS" | grep -q '^warpd_sim_cycles_total [1-9]' ||
   { echo "FAIL: /metrics does not aggregate simulated cycles" >&2; exit 1; }
-echo "metrics: ok"
+echo "$METRICS" | grep -q 'warpd_run_seconds_bucket{' ||
+  { echo "FAIL: /metrics has no run-latency histogram buckets" >&2; exit 1; }
+echo "$METRICS" | grep -q 'warpd_queue_wait_seconds_count' ||
+  { echo "FAIL: /metrics has no queue-wait histogram" >&2; exit 1; }
+echo "$METRICS" | grep -q 'warpd_decision_total{' ||
+  { echo "FAIL: /metrics has no backend decision counters" >&2; exit 1; }
+echo "$METRICS" | grep -q 'warpd_prediction_error_ratio_count{' ||
+  { echo "FAIL: /metrics has no prediction-error series" >&2; exit 1; }
+echo "metrics: ok (incl. latency histograms + decision audit)"
 
 kill -TERM "$WARPD_PID"
 wait "$WARPD_PID"

@@ -35,6 +35,7 @@ import (
 	"warp/internal/prof"
 	"warp/internal/sim"
 	"warp/internal/skew"
+	"warp/internal/telemetry"
 	"warp/internal/verify"
 	"warp/internal/w2"
 )
@@ -153,7 +154,28 @@ type RunStats struct {
 	// SourceProfile for the export formats (text report, folded flame
 	// stacks, pprof protobuf).
 	Source *SourceProfile
+	// Decision is the backend decision audit: why this backend ran,
+	// what the host-calibrated cost model predicted each backend would
+	// cost, and the wall time actually spent.  Always present.
+	Decision *Decision
 }
+
+// Decision is the backend decision audit record attached to every run:
+// the chosen backend, the reason, the cost model's predicted wall time
+// for each candidate backend (from exact cycle/op counts and two
+// host-calibrated constants), and the actual wall time observed.
+type Decision = telemetry.Decision
+
+// CostModel holds the host-calibrated constants behind Decision
+// predictions.
+type CostModel = telemetry.CostModel
+
+// ProgressUpdate is one coarse snapshot of a running execution; see
+// RunConfig.Progress.
+type ProgressUpdate = obs.ProgressUpdate
+
+// ProgressFunc receives ProgressUpdates from a running execution.
+type ProgressFunc = obs.ProgressFunc
 
 // SourceProfile is a source-line hot-spot profile of a run: exact
 // per-line busy/starved/bubble cycle totals plus folded flame-graph
@@ -197,6 +219,13 @@ type RunConfig struct {
 	// executor and fails with ErrUnverified when the program was
 	// compiled without Options.Verify.
 	Backend string
+	// Progress, when non-nil, receives coarse position updates while
+	// the run executes — cycles retired (with the modeled total for a
+	// percent display) for single runs, tile completions for
+	// RunPartitioned — plus a terminal update.  The callback runs on
+	// the executor's goroutine at a bounded stride and must not block;
+	// nil disables progress reporting at zero cost.
+	Progress ProgressFunc
 
 	// The remaining fields configure RunPartitioned only; the
 	// single-array Run variants ignore them.
@@ -264,6 +293,7 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 		MaxCycles: cfg.MaxCycles,
 		Profile:   cfg.Profile,
 		Backend:   cfg.Backend,
+		Progress:  cfg.Progress,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -274,6 +304,7 @@ func (p *Program) runWith(inputs map[string][]float64, cfg RunConfig, rec obs.Re
 		MaxQueue:   stats.MaxQueue,
 		MaxQueueAt: stats.MaxQueueAt,
 		Profile:    stats.Obs,
+		Decision:   stats.Decision,
 	}
 	if stats.CellActive > 0 {
 		rs.AddUtilization = float64(stats.AddOps) / float64(stats.CellActive)
