@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	w2c [-cell] [-iu] [-noopt] [-pipeline] [-verify] [-cells n] program.w2
+//	w2c [-cell] [-iu] [-noopt] [-pipeline] [-verify] [-cells n] [-compile-workers n] program.w2
 //
 // Without listing flags it prints the compile report: microcode sizes,
 // minimum skew, proven queue occupancy and IU resource usage.
@@ -34,6 +34,7 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "software pipeline innermost loops")
 		doVerify = flag.Bool("verify", false, "statically verify the generated microcode")
 		cells    = flag.Int("cells", 0, "override the array size")
+		cworkers = flag.Int("compile-workers", 0, "compiler parallelism (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,10 +48,11 @@ func main() {
 		os.Exit(1)
 	}
 	prog, err := warp.Compile(string(src), warp.Options{
-		NoOptimize: *noopt,
-		Pipeline:   *pipeline,
-		Cells:      *cells,
-		Verify:     *doVerify,
+		NoOptimize:     *noopt,
+		Pipeline:       *pipeline,
+		Cells:          *cells,
+		Verify:         *doVerify,
+		CompileWorkers: *cworkers,
 	})
 	if err != nil {
 		var verr *verify.Error

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	warpbench [-exp name] [-pipeline]
-//	warpbench -json out.json [-iters n]
+//	warpbench -json out.json [-iters n] [-compile-workers n]
 //
 // Experiments: fig3-1, fig4-2, fig5-1, table6-1, table6-2, table6-3,
 // table6-4, table6-5, table7-1, throughput, utilization, hotspot,
@@ -44,10 +44,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	jsonOut := flag.String("json", "", "write the machine-readable benchmark suite to this file and exit")
 	iters := flag.Int("iters", 5, "wall-clock iterations per experiment with -json")
+	cworkers := flag.Int("compile-workers", 0, "compiler parallelism with -json (0 = GOMAXPROCS, 1 = serial; counters are identical at any setting)")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		report, err := bench.Run(*iters)
+		report, err := bench.RunWorkers(*iters, *cworkers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "warpbench: %v\n", err)
 			os.Exit(1)
@@ -612,7 +613,7 @@ func fabricScaling() error {
 // proven schedule over host slices and reports the same closed-form
 // cycle count.  The experiment hard-fails unless outputs are
 // bit-identical and modeled cycles agree exactly; the wall speedup is
-// the number the BENCH_8.json gate holds above 5× on the 32×32 case.
+// the number the BENCH_9.json gate holds above 5× on the 32×32 case.
 func fastexec() error {
 	const iters = 3
 	fmt.Println("verified matmul on both backends (outputs bit-checked, cycles must agree):")
@@ -668,7 +669,7 @@ func fastexec() error {
 			simRS.Cycles, simWall.Round(time.Microsecond), fastWall.Round(time.Microsecond),
 			float64(simWall)/float64(fastWall))
 	}
-	fmt.Printf("\n(gate: bench.FastexecSpeedupFloor holds the 32x32 speedup above %.0fx in BENCH_8.json)\n",
+	fmt.Printf("\n(gate: bench.FastexecSpeedupFloor holds the 32x32 speedup above %.0fx in BENCH_9.json)\n",
 		bench.FastexecSpeedupFloor)
 	return nil
 }

@@ -202,8 +202,9 @@ func TestRunPinsBaselines(t *testing.T) {
 			t.Errorf("%s = %d cycles, want the pinned baseline %d", name, got[name], cycles)
 		}
 	}
-	if want := len(compileCases()) + len(runCases()) + len(fabricCases()) + 1; len(rep.Experiments) != want {
-		t.Errorf("suite ran %d experiments, want %d (incl. fastexec)", len(rep.Experiments), want)
+	// +3 for the compile-scaling/colorseg-w{1,2,4} curve, +1 fastexec.
+	if want := len(compileCases()) + 3 + len(runCases()) + len(fabricCases()) + 1; len(rep.Experiments) != want {
+		t.Errorf("suite ran %d experiments, want %d (incl. scaling curve and fastexec)", len(rep.Experiments), want)
 	}
 	// The fastexec backend comparison: Run itself verifies the two
 	// backends agree bit-for-bit before emitting the record, so here we
@@ -251,10 +252,12 @@ func TestRunPinsBaselines(t *testing.T) {
 // phase whose median grew past CompileDriftFactor× names itself; drift
 // under the factor stays silent.
 func TestCompilePhaseDrift(t *testing.T) {
+	// Durations sit above CompilePhaseFloorNS so the noise-floor
+	// exemption does not swallow the drift.
 	base := rpt(Experiment{Name: "compile/c", Kind: "compile",
-		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 1000}, {Name: "skew", MedianNS: 500}}})
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 10_000_000}, {Name: "skew", MedianNS: 5_000_000}}})
 	fresh := rpt(Experiment{Name: "compile/c", Kind: "compile",
-		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 2100}, {Name: "skew", MedianNS: 900}}})
+		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 21_000_000}, {Name: "skew", MedianNS: 9_000_000}}})
 	v := Compare(base, fresh, 0.10, 100, 0) // wall threshold out of the way
 	if !v.OK() {
 		t.Fatalf("phase drift must warn, not fail: %v", v.Regressions)
@@ -273,9 +276,15 @@ func TestCompilePhaseDrift(t *testing.T) {
 // while drift under the factor still only warns via CompileDriftFactor.
 func TestCompileThresholdPromotes(t *testing.T) {
 	base := rpt(Experiment{Name: "compile/c", Kind: "compile",
-		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 1000}, {Name: "skew", MedianNS: 500}}})
+		CompilePhases: []PhaseWall{
+			{Name: "cellgen", MedianNS: 10_000_000},
+			{Name: "skew", MedianNS: 5_000_000},
+			{Name: "optimize", MedianNS: 400}}})
 	fresh := rpt(Experiment{Name: "compile/c", Kind: "compile",
-		CompilePhases: []PhaseWall{{Name: "cellgen", MedianNS: 5000}, {Name: "skew", MedianNS: 1100}}})
+		CompilePhases: []PhaseWall{
+			{Name: "cellgen", MedianNS: 50_000_000},
+			{Name: "skew", MedianNS: 11_000_000},
+			{Name: "optimize", MedianNS: 40_000}}})
 	v := Compare(base, fresh, 0.10, 100, 4.0)
 	if v.OK() {
 		t.Fatal("5x phase growth must fail with -compile-threshold 4")
@@ -289,6 +298,12 @@ func TestCompileThresholdPromotes(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(v.Warnings, "\n"), `compile phase "skew" drifted`) {
 		t.Errorf("2.2x growth should still warn: %v", v.Warnings)
+	}
+	// "optimize" grew 100x but both sides sit under CompilePhaseFloorNS:
+	// sub-floor phases are scheduler noise and must stay silent.
+	all := joined + "\n" + strings.Join(v.Warnings, "\n")
+	if strings.Contains(all, `"optimize"`) {
+		t.Errorf("sub-floor phase escaped the noise floor: %v / %v", v.Regressions, v.Warnings)
 	}
 }
 

@@ -3,6 +3,7 @@ package cellgen
 import (
 	"sort"
 
+	"warp/internal/conc"
 	"warp/internal/ir"
 	"warp/internal/mcode"
 	"warp/internal/prof"
@@ -88,8 +89,16 @@ func buildModuloEdges(b *ir.Block, loop *w2.ForStmt) (edges []mEdge, ok bool) {
 	}
 
 	// Carried scalar flow: write(k) → read(k+1), one cycle for the move
-	// to land.
-	for sym, w := range writes {
+	// to land.  Symbols are visited in block order, not map order: the
+	// edge list's order seeds the scheduler's eviction sequence, so it
+	// must be identical on every compile of the same source.
+	seenW := map[*w2.Symbol]bool{}
+	for _, n := range b.Nodes {
+		if n.Op != ir.OpWrite || seenW[n.Sym] {
+			continue
+		}
+		seenW[n.Sym] = true
+		sym, w := n.Sym, writes[n.Sym]
 		if r := reads[sym]; r != nil {
 			for _, m := range b.Nodes {
 				for _, a := range m.Args {
@@ -105,8 +114,11 @@ func buildModuloEdges(b *ir.Block, loop *w2.ForStmt) (edges []mEdge, ok bool) {
 	}
 
 	// Carried queue order: per port, last op (k) before first op (k+1).
+	// Ports are visited in first-encounter order for the same reason as
+	// the carried-scalar loop above.
 	type portOps struct{ first, last *ir.Node }
 	ports := map[portKey]*portOps{}
+	var portOrder []portKey
 	for _, n := range b.Nodes {
 		if !n.Op.IsIO() {
 			continue
@@ -115,12 +127,13 @@ func buildModuloEdges(b *ir.Block, loop *w2.ForStmt) (edges []mEdge, ok bool) {
 		p := ports[k]
 		if p == nil {
 			ports[k] = &portOps{first: n, last: n}
+			portOrder = append(portOrder, k)
 		} else {
 			p.last = n
 		}
 	}
-	for _, p := range ports {
-		add(p.last, p.first, 1, 1)
+	for _, k := range portOrder {
+		add(ports[k].last, ports[k].first, 1, 1)
 	}
 
 	// Carried memory dependences with affine disambiguation.
@@ -414,23 +427,51 @@ func (g *gen) moduloSchedule(r *ir.LoopRegion, b *ir.Block, ls *prof.LoopSched) 
 
 	trips := r.Trips()
 	ls.MII = int(resMII(b))
-	for ii := resMII(b); ii < base.len; ii++ {
-		ls.Attempts++
-		ms, ok := tryModulo(b, edges, ii, ls)
-		if !ok {
-			continue
+
+	// Speculative search: try up to Workers candidate IIs concurrently
+	// per batch, each against a private scratch counter, then walk the
+	// batch in ascending II merging only the candidates a serial search
+	// would have reached.  tryModulo is a pure function of (b, edges,
+	// ii), so the accepted schedule — and every counter except wall
+	// time — is identical at any worker count.  Emission stays serial:
+	// it allocates loop IDs from the generator's sequential state.
+	batch := g.opts.Workers
+	if batch < 1 {
+		batch = 1
+	}
+	type candidate struct {
+		ms      *moduloResult
+		ok      bool
+		scratch prof.LoopSched
+	}
+	for lo := resMII(b); lo < base.len; lo += int64(batch) {
+		hi := lo + int64(batch)
+		if hi > base.len {
+			hi = base.len
 		}
-		items, ok, err := g.emitModulo(r, b, ms, trips)
-		if err != nil {
-			return nil, false, err
+		cands := make([]candidate, hi-lo)
+		conc.Do(batch, len(cands), func(i int) {
+			cands[i].ms, cands[i].ok = tryModulo(b, edges, lo+int64(i), &cands[i].scratch)
+		})
+		for i := range cands {
+			ls.Attempts++
+			ls.Placements += cands[i].scratch.Placements
+			ls.Evictions += cands[i].scratch.Evictions
+			if !cands[i].ok {
+				continue
+			}
+			items, ok, err := g.emitModulo(r, b, cands[i].ms, trips)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				ls.II = int(lo + int64(i))
+				return items, true, nil
+			}
+			// Register pressure or trip count rejected this II; a larger II
+			// lowers the overlap, so keep searching.
+			ls.EmitRejects++
 		}
-		if ok {
-			ls.II = int(ii)
-			return items, true, nil
-		}
-		// Register pressure or trip count rejected this II; a larger II
-		// lowers the overlap, so keep searching.
-		ls.EmitRejects++
 	}
 	ls.Reason = "no feasible II below the list schedule"
 	return nil, false, nil

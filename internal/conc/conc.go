@@ -1,0 +1,54 @@
+// Package conc holds the one concurrency primitive the parallel
+// compiler shares: a bounded fan-out over an index range.
+//
+// The compiler's parallelism discipline is that workers communicate
+// only through per-index result slots — no locks, no channels of
+// results, no order-dependent accumulation inside the fan — and the
+// caller merges the slots in index order afterwards.  That discipline
+// is what makes the compiled artifact byte-identical at any worker
+// count; Do is deliberately too small an API to express anything else.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(0), ..., fn(n-1), each exactly once, on at most workers
+// concurrent goroutines, and returns when all calls have finished.
+// With workers ≤ 1 (or n == 1) the calls run serially in index order
+// on the calling goroutine, so a serial configuration never pays for
+// (or observes) a goroutine switch.
+//
+// Which worker runs which index is scheduling-dependent; fn must write
+// only state owned by its index.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

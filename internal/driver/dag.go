@@ -1,0 +1,120 @@
+package driver
+
+import "sync"
+
+// This file is the compile-phase DAG scheduler.  The front half of the
+// pipeline (parse through cellgen) is a strict chain — each phase
+// consumes the previous one's output — but once the cell program is
+// frozen the remaining phases only read it: the skew analysis, the IU
+// generator and the host generator are mutually independent, and the
+// verifier needs all three.  compile() encodes that dependency
+// structure as a task list and runs it here on a small worker pool.
+//
+// The determinism contract: the compiled artifact (microcode, skew,
+// queue bounds, scheduler counters) and the failure reported, if any,
+// are identical at every worker count.  The scheduler's part of that
+// contract is claim order (ready tasks are claimed lowest index first)
+// and error selection (the lowest-indexed failure wins — the same task
+// a serial walk in index order would have failed on).  Wall-clock
+// fields (phase Seconds/Start/Worker, SkewSearch.NS) are measurements,
+// not artifacts, and are exempt.
+
+// task is one node of the back-end compile DAG.
+type task struct {
+	name string
+	// deps lists the indices of tasks that must complete successfully
+	// first.  Dependencies must point backward (dep < this task's
+	// index) so skip propagation resolves in one forward scan.
+	deps []int
+	// run does the work on the given worker lane (0 ≤ lane < workers).
+	// Lanes are goroutines: two tasks on the same lane never overlap,
+	// which is what makes per-lane phase timing sound.
+	run func(lane int) error
+}
+
+// Task states.
+const (
+	taskPending = iota
+	taskRunning
+	taskDone
+	taskFailed
+	taskSkipped
+)
+
+// runTasks executes the task DAG on up to workers concurrent lanes and
+// returns the lowest-indexed task's error, or nil if every task ran
+// (tasks downstream of a failure are skipped, never half-run).
+func runTasks(tasks []*task, workers int) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	state := make([]int, len(tasks))
+	errs := make([]error, len(tasks))
+	var mu sync.Mutex
+	ready := sync.NewCond(&mu)
+	left := len(tasks)
+	var wg sync.WaitGroup
+	for lane := 0; lane < workers; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			for {
+				if left == 0 {
+					ready.Broadcast()
+					return
+				}
+				pick := -1
+			scan:
+				for i, t := range tasks {
+					if state[i] != taskPending {
+						continue
+					}
+					for _, d := range t.deps {
+						switch state[d] {
+						case taskFailed, taskSkipped:
+							state[i] = taskSkipped
+							left--
+							continue scan
+						case taskDone:
+						default:
+							continue scan
+						}
+					}
+					pick = i
+					break
+				}
+				if pick < 0 {
+					if left == 0 {
+						continue // loop back to broadcast and exit
+					}
+					ready.Wait()
+					continue
+				}
+				state[pick] = taskRunning
+				mu.Unlock()
+				err := tasks[pick].run(lane)
+				mu.Lock()
+				if err != nil {
+					state[pick] = taskFailed
+					errs[pick] = err
+				} else {
+					state[pick] = taskDone
+				}
+				left--
+				ready.Broadcast()
+			}
+		}(lane)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

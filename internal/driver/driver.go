@@ -11,12 +11,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"warp/internal/cellgen"
+	"warp/internal/conc"
 	"warp/internal/commgraph"
 	"warp/internal/fastexec"
 	"warp/internal/hostgen"
@@ -48,6 +50,16 @@ type Options struct {
 	// is handed out, and a violation fails the compilation with a
 	// *verify.Error carrying structured diagnostics.
 	Verify bool
+	// CompileWorkers bounds the compiler's own parallelism: once the
+	// cell program is frozen, the skew analysis (per channel), the IU
+	// generator, the host generator (per stream) and the verifier (per
+	// invariant group) run concurrently on up to this many workers, and
+	// the modulo scheduler searches candidate IIs speculatively.  0
+	// defaults to GOMAXPROCS; 1 compiles serially.  The compiled
+	// artifact — microcode, skew, queue bounds, cycle counts, scheduler
+	// counters — is byte-identical at every setting; only wall-clock
+	// measurements (phase timings, search nanoseconds) vary.
+	CompileWorkers int
 	// Recorder receives one Phase event per compiler phase (and is
 	// forwarded to the simulator by RunObserved's callers).  nil
 	// disables emission; Compiled.Phases is recorded either way.
@@ -107,6 +119,10 @@ type Compiled struct {
 	Cells   int
 	W2Lines int
 
+	// t0 anchors the compile timeline: PhaseStat.Start offsets are
+	// measured from it.
+	t0 time.Time
+
 	// The fast-execution plan is compiled lazily on first use and
 	// cached: it is derived purely from the immutable microcode above,
 	// so one plan is shared by every concurrent run and fabric tile.
@@ -159,20 +175,26 @@ func Compile(src string, opts Options) (*Compiled, error) {
 }
 
 // phase appends one per-phase timing record ending now and forwards it
-// to the recorder, if any.
+// to the recorder, if any.  Serial phases run on worker lane 0.
 func (c *Compiled) phase(rec obs.Recorder, name string, start time.Time, size int, note string) {
 	d := time.Since(start).Seconds()
-	c.Phases = append(c.Phases, obs.PhaseStat{Name: name, Seconds: d, Size: size, Note: note})
-	if rec != nil {
-		rec.Phase(name, d, size, note)
+	off := start.Sub(c.t0).Seconds()
+	if off < 0 {
+		off = 0
 	}
+	c.Phases = append(c.Phases, obs.PhaseStat{Name: name, Seconds: d, Size: size, Note: note, Start: off})
+	obs.RecordPhaseAt(rec, name, off, d, 0, size, note)
 }
 
 func compile(src string, opts Options) (*Compiled, error) {
-	c := &Compiled{W2Lines: countLines(src), Src: src}
+	c := &Compiled{W2Lines: countLines(src), Src: src, t0: time.Now()}
 	rec := opts.Recorder
+	workers := opts.CompileWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	start := time.Now()
+	start := c.t0
 	mod, err := w2.Parse(src)
 	if err != nil {
 		return nil, err
@@ -220,13 +242,16 @@ func compile(src string, opts Options) (*Compiled, error) {
 	c.phase(rec, "commgraph", start, 0, "")
 
 	start = time.Now()
-	cg, err := cellgen.Generate(prog, cellgen.Options{Pipeline: opts.Pipeline})
+	cg, err := cellgen.Generate(prog, cellgen.Options{Pipeline: opts.Pipeline, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	c.CellGen = cg
 	c.Cell = cg.Cell
 	c.Sched = cg.Sched
+	// The debug map assigns µprogram addresses — the one mutation of
+	// the cell program after generation — so it runs here, before the
+	// cell program is published to the concurrent back-end tasks.
 	c.Debug = prof.BuildDebugMap(mod.Name, src, c.Cell)
 	note := ""
 	if opts.Pipeline {
@@ -236,97 +261,159 @@ func compile(src string, opts Options) (*Compiled, error) {
 	}
 	c.phase(rec, "cellgen", start, c.Cell.NumInstrs(), note)
 
-	// Inter-cell scheduling: minimum skew and queue occupancy per
-	// channel (§6.2).  A single-cell array has no inter-cell boundary
-	// to synchronize.
-	start = time.Now()
+	// With the cell program frozen, the remaining phases only read it:
+	// the skew analysis, the IU generator and the host generator are
+	// mutually independent, and the verifier needs all three.  They run
+	// as a task DAG on up to `workers` lanes; each task records its
+	// phase into a private slot, and the slots are appended and emitted
+	// in canonical (serial) order below, so Compiled.Phases and the
+	// recorder's event stream keep one order at any worker count.
 	c.Timing = cellgen.Timing(c.Cell)
 	c.QueueOcc = map[w2.Channel]int64{}
-	if c.Cells > 1 {
-		var maxSkew int64
-		for ch, tp := range c.Timing {
-			chStart := time.Now()
-			s, st, err := skew.MinSkewStats(tp, tp)
-			if err != nil {
-				return nil, fmt.Errorf("driver: channel %s: %w", ch, err)
-			}
-			c.Sched.Skews = append(c.Sched.Skews, prof.SkewSearch{
-				Channel: fmt.Sprint(ch),
-				Method:  st.Method,
-				Ops:     st.Ops,
-				Pairs:   st.Pairs,
-				Pruned:  st.Pruned,
-				Skew:    s,
-				NS:      time.Since(chStart).Nanoseconds(),
-			})
-			if s > maxSkew {
-				maxSkew = s
-			}
-		}
-		// Addresses and loop signals propagate systolically one cycle
-		// per hop, so multi-cell arrays need a skew of at least one
-		// cycle.
-		if maxSkew < 1 {
-			maxSkew = 1
-		}
-		c.Skew = maxSkew
-		for ch, tp := range c.Timing {
-			occ, err := skew.CheckQueue(tp, tp, c.Skew, mcode.QueueDepth)
-			if err != nil {
-				return nil, fmt.Errorf("driver: channel %s: %w", ch, err)
-			}
-			c.QueueOcc[ch] = occ
-		}
+	chans := make([]w2.Channel, 0, len(c.Timing))
+	for ch := range c.Timing {
+		chans = append(chans, ch)
 	}
-	// Channel map iteration is unordered; keep the introspection record
-	// deterministic.
-	sort.Slice(c.Sched.Skews, func(i, j int) bool { return c.Sched.Skews[i].Channel < c.Sched.Skews[j].Channel })
-	skewNote := ""
-	if len(c.Sched.Skews) > 0 {
-		t := c.Sched.Totals()
-		skewNote = fmt.Sprintf("%d ops enumerated, %d pairs analyzed, %d pruned", t.SkewOps, t.SkewPairs, t.SkewPruned)
-	}
-	c.phase(rec, "skew", start, int(c.Skew), skewNote)
+	sort.Slice(chans, func(i, j int) bool { return fmt.Sprint(chans[i]) < fmt.Sprint(chans[j]) })
 
-	start = time.Now()
-	iu, err := iugen.Generate(c.Cell)
-	if err != nil {
-		return nil, err
-	}
-	c.IUGen = iu
-	c.IU = iu.IU
-	c.phase(rec, "iugen", start, c.IU.NumInstrs(), "")
-
-	start = time.Now()
-	host, err := hostgen.Generate(c.Cell)
-	if err != nil {
-		return nil, err
-	}
-	c.Host = host
-	hostWords := 0
-	for _, seq := range host.In {
-		hostWords += len(seq)
-	}
-	for _, seq := range host.Out {
-		hostWords += len(seq)
-	}
-	c.phase(rec, "hostgen", start, hostWords, "")
-
-	if opts.Verify {
-		start = time.Now()
-		rep, err := verify.Verify(verify.Program{
-			Cells: c.Cells,
-			Cell:  c.Cell,
-			IU:    c.IU,
-			Host:  c.Host,
-			Skew:  c.Skew,
-			Lead:  c.IUGen.Prologue + 1,
+	logs := make([][]obs.PhaseStat, 4)
+	record := func(slot, lane int, name string, start time.Time, size int, msg string) {
+		logs[slot] = append(logs[slot], obs.PhaseStat{
+			Name: name, Seconds: time.Since(start).Seconds(), Size: size, Note: msg,
+			Start: start.Sub(c.t0).Seconds(), Worker: lane,
 		})
-		if err != nil {
-			return nil, err
+	}
+
+	tasks := []*task{
+		// Inter-cell scheduling: minimum skew and queue occupancy per
+		// channel (§6.2), each channel analyzed independently.  A
+		// single-cell array has no inter-cell boundary to synchronize.
+		{name: "skew", run: func(lane int) error {
+			start := time.Now()
+			if c.Cells > 1 {
+				type chanSkew struct {
+					an  *skew.Analysis
+					rec prof.SkewSearch
+					err error
+				}
+				res := make([]chanSkew, len(chans))
+				conc.Do(workers, len(chans), func(i int) {
+					ch := chans[i]
+					chStart := time.Now()
+					a, err := skew.NewAnalysis(c.Timing[ch], c.Timing[ch])
+					if err != nil {
+						res[i].err = fmt.Errorf("driver: channel %s: %w", ch, err)
+						return
+					}
+					s, st, err := a.MinSkewStats()
+					if err != nil {
+						res[i].err = fmt.Errorf("driver: channel %s: %w", ch, err)
+						return
+					}
+					res[i].an = a
+					res[i].rec = prof.SkewSearch{
+						Channel: fmt.Sprint(ch),
+						Method:  st.Method,
+						Ops:     st.Ops,
+						Pairs:   st.Pairs,
+						Pruned:  st.Pruned,
+						Skew:    s,
+						NS:      time.Since(chStart).Nanoseconds(),
+					}
+				})
+				var maxSkew int64
+				for i := range res {
+					if res[i].err != nil {
+						return res[i].err
+					}
+					c.Sched.Skews = append(c.Sched.Skews, res[i].rec)
+					if res[i].rec.Skew > maxSkew {
+						maxSkew = res[i].rec.Skew
+					}
+				}
+				// Addresses and loop signals propagate systolically one
+				// cycle per hop, so multi-cell arrays need a skew of at
+				// least one cycle.
+				if maxSkew < 1 {
+					maxSkew = 1
+				}
+				c.Skew = maxSkew
+				// The occupancy check reuses each channel's cached
+				// enumeration, so this sweep is cheap.
+				for i, ch := range chans {
+					occ, err := res[i].an.CheckQueue(c.Skew, mcode.QueueDepth)
+					if err != nil {
+						return fmt.Errorf("driver: channel %s: %w", ch, err)
+					}
+					c.QueueOcc[ch] = occ
+				}
+			}
+			// Channels were analyzed in sorted order, so the
+			// introspection record is already deterministic.
+			skewNote := ""
+			if len(c.Sched.Skews) > 0 {
+				t := c.Sched.Totals()
+				skewNote = fmt.Sprintf("%d ops enumerated, %d pairs analyzed, %d pruned", t.SkewOps, t.SkewPairs, t.SkewPruned)
+			}
+			record(0, lane, "skew", start, int(c.Skew), skewNote)
+			return nil
+		}},
+		{name: "iugen", run: func(lane int) error {
+			start := time.Now()
+			iu, err := iugen.Generate(c.Cell)
+			if err != nil {
+				return err
+			}
+			c.IUGen = iu
+			c.IU = iu.IU
+			record(1, lane, "iugen", start, c.IU.NumInstrs(), "")
+			return nil
+		}},
+		{name: "hostgen", run: func(lane int) error {
+			start := time.Now()
+			host, err := hostgen.GenerateParallel(c.Cell, workers)
+			if err != nil {
+				return err
+			}
+			c.Host = host
+			hostWords := 0
+			for _, seq := range host.In {
+				hostWords += len(seq)
+			}
+			for _, seq := range host.Out {
+				hostWords += len(seq)
+			}
+			record(2, lane, "hostgen", start, hostWords, "")
+			return nil
+		}},
+	}
+	if opts.Verify {
+		tasks = append(tasks, &task{name: "verify", deps: []int{0, 1, 2}, run: func(lane int) error {
+			start := time.Now()
+			rep, err := verify.VerifyParallel(verify.Program{
+				Cells: c.Cells,
+				Cell:  c.Cell,
+				IU:    c.IU,
+				Host:  c.Host,
+				Skew:  c.Skew,
+				Lead:  c.IUGen.Prologue + 1,
+			}, workers)
+			if err != nil {
+				return err
+			}
+			c.Verified = rep
+			record(3, lane, "verify", start, rep.Checked, fmt.Sprintf("%d propositions proven", rep.Checked))
+			return nil
+		}})
+	}
+	if err := runTasks(tasks, workers); err != nil {
+		return nil, err
+	}
+	for _, ps := range logs {
+		for _, p := range ps {
+			c.Phases = append(c.Phases, p)
+			obs.RecordPhaseAt(rec, p.Name, p.Start, p.Seconds, p.Worker, p.Size, p.Note)
 		}
-		c.Verified = rep
-		c.phase(rec, "verify", start, rep.Checked, fmt.Sprintf("%d propositions proven", rep.Checked))
 	}
 	return c, nil
 }

@@ -1,0 +1,217 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"warp/internal/workloads"
+)
+
+// compileFingerprint reduces one compilation to the byte string the
+// determinism contract pins: every output a consumer can observe —
+// microcode listings, the host I/O program, skew and proven queue
+// occupancy, the scheduler's deterministic counters, and the verifier
+// report — rendered in a canonical order.  Wall-clock measurements
+// (phase Seconds, SearchNS, SkewNS) are deliberately excluded: they
+// are measurements of the compile, not outputs of it.
+func compileFingerprint(t *testing.T, c *Compiled) string {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cells=%d skew=%d backoff=%v %q\n", c.Cells, c.Skew, c.PipelineBackoff, c.BackoffReason)
+	sb.WriteString(c.Cell.Listing())
+	sb.WriteString(c.IU.Listing())
+
+	var chans []string
+	byName := map[string]string{}
+	for ch, words := range c.Host.In {
+		name := fmt.Sprint(ch)
+		chans = append(chans, name)
+		byName[name] = fmt.Sprintf("in %s: %v\nout %s: %v\n", name, words, name, c.Host.Out[ch])
+	}
+	sort.Strings(chans)
+	for _, name := range chans {
+		sb.WriteString(byName[name])
+	}
+
+	var occ []string
+	for ch, n := range c.QueueOcc {
+		occ = append(occ, fmt.Sprintf("occ %s=%d", ch, n))
+	}
+	sort.Strings(occ)
+	sb.WriteString(strings.Join(occ, " ") + "\n")
+
+	// Scheduler introspection: the counters are part of the contract
+	// (a parallel II search must count placements exactly as the
+	// serial one), the nanosecond fields are not.
+	st := c.Sched.Totals()
+	fmt.Fprintf(&sb, "sched loops=%d pipelined=%d attempts=%d placements=%d evictions=%d emitrejects=%d skewops=%d skewpairs=%d skewpruned=%d\n",
+		st.Loops, st.Pipelined, st.Attempts, st.Placements, st.Evictions, st.EmitRejects,
+		st.SkewOps, st.SkewPairs, st.SkewPruned)
+	for _, k := range c.Sched.Skews {
+		fmt.Fprintf(&sb, "skewsearch %s method=%s ops=%d pairs=%d pruned=%d skew=%d\n",
+			k.Channel, k.Method, k.Ops, k.Pairs, k.Pruned, k.Skew)
+	}
+
+	if c.Verified != nil {
+		fmt.Fprintf(&sb, "verified checked=%d lead=%d memrefs=%d signals=%d\n",
+			c.Verified.Checked, c.Verified.Lead, c.Verified.MemRefs, c.Verified.Signals)
+		var vocc []string
+		for ch, o := range c.Verified.Data {
+			vocc = append(vocc, fmt.Sprintf("vocc %s max=%d method=%s sends=%d recvs=%d",
+				ch, o.Max, o.Method, c.Verified.Sends[ch], c.Verified.Recvs[ch]))
+		}
+		sort.Strings(vocc)
+		sb.WriteString(strings.Join(vocc, "\n") + "\n")
+		fmt.Fprintf(&sb, "adr max=%d method=%s sig max=%d method=%s\n",
+			c.Verified.Adr.Max, c.Verified.Adr.Method, c.Verified.Sig.Max, c.Verified.Sig.Method)
+	}
+	return sb.String()
+}
+
+// phaseNames returns the compile's phase names in merge order — the
+// canonical order must itself be independent of the worker count.
+func phaseNames(c *Compiled) string {
+	var names []string
+	for _, p := range c.Phases {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// TestCompileEquivalence is the compile-equivalence harness: every
+// example workload, plain and software-pipelined, compiled at 1, 2 and
+// 8 workers, must produce byte-identical microcode, host programs,
+// skew vectors and scheduler counters.  The serial compilation
+// (CompileWorkers=1) is the reference.  Run under -race in CI, this is
+// also the data-race probe for the whole parallel compile path.
+func TestCompileEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"polynomial", workloads.PolynomialPaper()},
+		{"1d-conv", workloads.Conv1DPaper()},
+		{"binop", workloads.BinopPaper()},
+		{"colorseg", workloads.ColorSegPaper()},
+		{"mandelbrot", workloads.MandelbrotPaper()},
+		{"matmul8", workloads.Matmul(8)},
+		{"fft16", workloads.FFT(16)},
+		{"conv1d-512", workloads.Conv1D(9, 512)},
+	}
+	if testing.Short() {
+		cases = cases[:3]
+	}
+	for _, tc := range cases {
+		for _, pipe := range []bool{false, true} {
+			mode := "plain"
+			if pipe {
+				mode = "pipelined"
+			}
+			t.Run(tc.name+"/"+mode, func(t *testing.T) {
+				t.Parallel()
+				ref, err := Compile(tc.src, Options{Pipeline: pipe, Verify: true, CompileWorkers: 1})
+				if err != nil {
+					t.Fatalf("serial compile: %v", err)
+				}
+				refFP := compileFingerprint(t, ref)
+				refPhases := phaseNames(ref)
+				for _, workers := range []int{2, 8} {
+					c, err := Compile(tc.src, Options{Pipeline: pipe, Verify: true, CompileWorkers: workers})
+					if err != nil {
+						t.Fatalf("workers=%d compile: %v", workers, err)
+					}
+					if fp := compileFingerprint(t, c); fp != refFP {
+						t.Errorf("workers=%d: output diverged from serial compile:\n%s",
+							workers, firstDiff(refFP, fp))
+					}
+					if pn := phaseNames(c); pn != refPhases {
+						t.Errorf("workers=%d: phase order %q, serial %q", workers, pn, refPhases)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompileEquivalenceCycles closes the loop on the contract's
+// "cycle counts" clause: programs compiled at different worker counts
+// must simulate to the same cycle count (guaranteed by byte-identical
+// microcode, asserted here end to end on a small workload).
+func TestCompileEquivalenceCycles(t *testing.T) {
+	src := workloads.Polynomial(10, 100)
+	inputs := map[string][]float64{
+		"z": make([]float64, 100), "c": make([]float64, 10),
+	}
+	var ref int64
+	for i, workers := range []int{1, 2, 8} {
+		c, err := Compile(src, Options{Pipeline: true, Verify: true, CompileWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		_, stats, err := Run(c, inputs)
+		if err != nil {
+			t.Fatalf("workers=%d run: %v", workers, err)
+		}
+		if i == 0 {
+			ref = stats.Cycles
+		} else if stats.Cycles != ref {
+			t.Errorf("workers=%d: %d cycles, serial compile gave %d", workers, stats.Cycles, ref)
+		}
+	}
+}
+
+// firstDiff locates the first divergent line of two fingerprints so a
+// failure names the diverging artifact instead of dumping both.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %q\n  parallel: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: serial %d lines, parallel %d lines", len(al), len(bl))
+}
+
+// FuzzCompileParallel is the differential fuzzer for the parallel
+// compile path: every accepted random program must compile to
+// bit-identical artifacts serially and at 8 workers, in both plain and
+// pipelined modes, with verification on — so every accepted program
+// also passes the static verifier under both schedules.  The seed
+// corpus runs as a regular test; explore with
+// `go test -fuzz=FuzzCompileParallel ./internal/driver`.
+func FuzzCompileParallel(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		src, _ := workloads.RandomProgram(rng)
+		for _, pipe := range []bool{false, true} {
+			serial, err := Compile(src, Options{Pipeline: pipe, Verify: true, CompileWorkers: 1})
+			if err != nil {
+				// The generator can emit programs the front end
+				// rejects; the contract is only about accepted ones —
+				// but rejection itself must be worker-independent.
+				if _, perr := Compile(src, Options{Pipeline: pipe, Verify: true, CompileWorkers: 8}); perr == nil {
+					t.Fatalf("pipeline=%v: serial compile rejected (%v) but parallel accepted\n%s", pipe, err, src)
+				}
+				continue
+			}
+			par, err := Compile(src, Options{Pipeline: pipe, Verify: true, CompileWorkers: 8})
+			if err != nil {
+				t.Fatalf("pipeline=%v: parallel compile rejected what serial accepted: %v\n%s", pipe, err, src)
+			}
+			sfp, pfp := compileFingerprint(t, serial), compileFingerprint(t, par)
+			if sfp != pfp {
+				t.Fatalf("pipeline=%v: serial and 8-worker compiles diverged:\n%s\n%s",
+					pipe, firstDiff(sfp, pfp), src)
+			}
+			if serial.Verified == nil || par.Verified == nil {
+				t.Fatalf("pipeline=%v: verification did not run", pipe)
+			}
+		}
+	})
+}

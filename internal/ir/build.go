@@ -97,7 +97,11 @@ func (b *builder) startBlock() {
 // append the block to the enclosing region list (empty blocks are
 // dropped).
 func (b *builder) endBlock() {
-	// Deterministic write-back order: by node ID of the final value.
+	// Deterministic write-back order: by node ID of the final value,
+	// then by symbol name — two scalars can share one value node (a :=
+	// x; b := x), and the tie must not fall back to map iteration
+	// order or the writes' node IDs vary between compiles of the same
+	// source.
 	type wb struct {
 		sym *w2.Symbol
 		val *Node
@@ -108,7 +112,12 @@ func (b *builder) endBlock() {
 			pending = append(pending, wb{sym, val})
 		}
 	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].val.ID < pending[j].val.ID })
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].val.ID != pending[j].val.ID {
+			return pending[i].val.ID < pending[j].val.ID
+		}
+		return pending[i].sym.Name < pending[j].sym.Name
+	})
 	for _, p := range pending {
 		w := b.newNode(OpWrite, p.val)
 		w.Sym = p.sym

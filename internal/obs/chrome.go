@@ -201,6 +201,22 @@ func (t *ChromeTracer) Phase(name string, seconds float64, size int, note string
 	t.phaseTS += dur
 }
 
+// PhaseAt renders a parallel-compiler phase at its true timeline
+// position, one track per compile worker lane, so overlapping phases
+// draw as overlapping instead of the abutting layout Phase assumes.
+func (t *ChromeTracer) PhaseAt(name string, start, seconds float64, worker, size int, note string) {
+	ts := start * 1e6
+	dur := seconds * 1e6
+	if dur < 1 {
+		dur = 1
+	}
+	t.emit(`{"name":%s,"cat":"compile","ph":"X","ts":%.0f,"dur":%.0f,"pid":%d,"tid":%d,"args":{"size":%d,"note":%s}}`,
+		strconv.Quote(name), ts, dur, tracePIDCompiler, 1+worker, size, strconv.Quote(note))
+	if end := ts + dur; end > t.phaseTS {
+		t.phaseTS = end
+	}
+}
+
 // Close finalizes the JSON document and flushes the buffered writer.
 // It does not close the underlying io.Writer.
 func (t *ChromeTracer) Close() error {

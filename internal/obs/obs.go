@@ -237,4 +237,40 @@ type PhaseStat struct {
 	// the optimizer, the skew in cycles for the skew analysis.
 	Size int
 	Note string
+	// Start is the phase's start offset from the beginning of the
+	// compilation, in seconds.  With parallel compilation phases
+	// overlap in wall time; Start+Seconds places each phase on the
+	// compile timeline.
+	Start float64
+	// Worker is the compile worker lane that ran the phase.  Phases
+	// sharing a lane never overlap; the timing-soundness contract is
+	// per-lane (Σ Seconds on one lane ≤ total compile wall), not
+	// global — concurrent lanes legitimately sum past the wall clock.
+	Worker int
+}
+
+// PhaseAtRecorder is an optional Recorder extension for the parallel
+// compiler: PhaseAt reports a phase with its start offset (seconds from
+// the start of the compilation) and the worker lane that ran it, so
+// adapters can place concurrent phases on a real timeline instead of
+// assuming phases abut.  RecordPhaseAt dispatches to it when present.
+type PhaseAtRecorder interface {
+	PhaseAt(name string, start, seconds float64, worker, size int, note string)
+}
+
+// RecordPhaseAt delivers one phase event to r, using the PhaseAt
+// extension when r implements it and falling back to Phase otherwise.
+// Multi-recorders dispatch per sub-recorder.  A nil r is a no-op.
+func RecordPhaseAt(r Recorder, name string, start, seconds float64, worker, size int, note string) {
+	switch rr := r.(type) {
+	case nil:
+	case multi:
+		for _, sub := range rr {
+			RecordPhaseAt(sub, name, start, seconds, worker, size, note)
+		}
+	case PhaseAtRecorder:
+		rr.PhaseAt(name, start, seconds, worker, size, note)
+	default:
+		r.Phase(name, seconds, size, note)
+	}
 }

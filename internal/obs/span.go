@@ -161,6 +161,31 @@ func (t *Trace) addTimed(name string, parent *Span, d time.Duration, attrs ...Sp
 	t.mu.Unlock()
 }
 
+// addSpanAt appends an already-closed span covering the explicit
+// [start, end] clock readings, used by the PhaseAt adapter (parallel
+// compiler phases report both endpoints).
+func (t *Trace) addSpanAt(name string, parent *Span, start, end time.Duration, attrs ...SpanAttr) {
+	if t == nil {
+		return
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	pid := -1
+	if parent != nil && parent.t == t {
+		pid = parent.id
+	}
+	t.spans = append(t.spans, SpanRecord{
+		ID: len(t.spans), Parent: pid, Name: name,
+		StartNS: int64(start), EndNS: int64(end), Attrs: attrs,
+	})
+	t.mu.Unlock()
+}
+
 // Spans snapshots the trace as a copy, safe to serialize while other
 // goroutines keep recording.
 func (t *Trace) Spans() []SpanRecord {
@@ -183,6 +208,9 @@ type spanPhaseRecorder struct {
 	nopRecorder
 	t      *Trace
 	parent *Span
+	// anchor is the trace clock at construction — the compile is about
+	// to start, so PhaseAt offsets are laid out relative to it.
+	anchor time.Duration
 }
 
 // phaseOnly marks this recorder as blind to cycle-level events, so the
@@ -197,6 +225,21 @@ func (r *spanPhaseRecorder) Phase(name string, seconds float64, size int, note s
 	r.t.addTimed(name, r.parent, time.Duration(seconds*float64(time.Second)), attrs...)
 }
 
+// PhaseAt places the phase at its true offset on the compile timeline,
+// so concurrent phases from a parallel compilation render as the
+// overlapping spans they were instead of a back-dated serial chain.
+func (r *spanPhaseRecorder) PhaseAt(name string, start, seconds float64, worker, size int, note string) {
+	attrs := []SpanAttr{
+		{Key: "size", Value: strconv.Itoa(size)},
+		{Key: "worker", Value: strconv.Itoa(worker)},
+	}
+	if note != "" {
+		attrs = append(attrs, SpanAttr{Key: "note", Value: note})
+	}
+	s := r.anchor + time.Duration(start*float64(time.Second))
+	r.t.addSpanAt(name, r.parent, s, s+time.Duration(seconds*float64(time.Second)), attrs...)
+}
+
 // SpanPhases returns a Recorder that turns compiler Phase events into
 // child spans of parent.  On a nil trace it returns the no-op recorder,
 // so the disabled path stays allocation-free at the compile call site.
@@ -204,7 +247,11 @@ func SpanPhases(t *Trace, parent *Span) Recorder {
 	if t == nil {
 		return Nop()
 	}
-	return &spanPhaseRecorder{t: t, parent: parent}
+	r := &spanPhaseRecorder{t: t, parent: parent}
+	t.mu.Lock()
+	r.anchor = t.now()
+	t.mu.Unlock()
+	return r
 }
 
 // WriteChromeSpans renders a span snapshot as a Chrome trace-event JSON

@@ -34,6 +34,9 @@ func Key(src string, opts warp.Options) string {
 	// The option encoding is versioned by its shape: any new
 	// codegen-affecting option must be appended here or identical
 	// sources would alias across differing code generation.
+	// CompileWorkers is deliberately absent — the compiler's output is
+	// byte-identical at any worker count, so compilations differing
+	// only in parallelism must share one cache entry.
 	fmt.Fprintf(h, "\x00noopt=%t\x00pipeline=%t\x00cells=%d\x00verify=%t",
 		opts.NoOptimize, opts.Pipeline, opts.Cells, opts.Verify)
 	return hex.EncodeToString(h.Sum(nil))

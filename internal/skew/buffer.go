@@ -21,27 +21,7 @@ func MaxOccupancy(out, in *Prog, skew int64) (int64, error) {
 	if len(to) != len(ti) {
 		return 0, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", len(to), len(ti))
 	}
-	var cur, maxOcc int64
-	i, j := 0, 0
-	for i < len(to) || j < len(ti) {
-		// At equal times the arriving word is latched while another
-		// leaves, so count the send first (conservative peak).
-		if i < len(to) && (j >= len(ti) || to[i] <= ti[j]+skew) {
-			cur++
-			if cur > maxOcc {
-				maxOcc = cur
-			}
-			i++
-		} else {
-			cur--
-			if cur < 0 {
-				return 0, fmt.Errorf("skew: receive %d executes at cycle %d before its matching send at cycle %d (queue underflow; skew %d too small)",
-					j, ti[j]+skew, to[j], skew)
-			}
-			j++
-		}
-	}
-	return maxOcc, nil
+	return maxOccupancyTimes(to, ti, skew)
 }
 
 // CheckQueue verifies that with the given skew the queue never

@@ -200,16 +200,7 @@ func MinSkewExact(out, in *Prog) (int64, error) {
 	if len(to) != len(ti) {
 		return 0, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", len(to), len(ti))
 	}
-	if len(to) == 0 {
-		return 0, nil
-	}
-	best := to[0] - ti[0]
-	for n := 1; n < len(to); n++ {
-		if d := to[n] - ti[n]; d > best {
-			best = d
-		}
-	}
-	return best, nil
+	return minSkewTimes(to, ti), nil
 }
 
 // MinSkewBound computes the paper's cheap upper bound on the minimum
@@ -284,31 +275,9 @@ func MinSkew(out, in *Prog) (int64, error) {
 
 // MinSkewStats is MinSkew plus search-space statistics.
 func MinSkewStats(out, in *Prog) (int64, SearchStats, error) {
-	const enumLimit = 1 << 20
-	co, ci := out.Count(Output), in.Count(Input)
-	if co != ci {
-		return 0, SearchStats{}, fmt.Errorf("skew: %d outputs vs %d inputs; send/receive counts must match", co, ci)
-	}
-	if co <= enumLimit {
-		st := SearchStats{Method: "exact", Ops: co + ci}
-		s, err := MinSkewExact(out, in)
-		if err != nil {
-			return 0, st, err
-		}
-		if s < 0 {
-			s = 0
-		}
-		return s, st, nil
-	}
-	b, pairs, err := MinSkewBound(out, in, BoundPaper)
+	a, err := NewAnalysis(out, in)
 	if err != nil {
-		return 0, SearchStats{Method: "bound"}, err
+		return 0, SearchStats{}, err
 	}
-	total := int64(len(Statements(out, Output))) * int64(len(Statements(in, Input)))
-	st := SearchStats{Method: "bound", Pairs: int64(len(pairs)), Pruned: total - int64(len(pairs))}
-	s := b.Ceil()
-	if s < 0 {
-		s = 0
-	}
-	return s, st, nil
+	return a.MinSkewStats()
 }

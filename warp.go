@@ -79,6 +79,14 @@ type Options struct {
 	// violation fails Compile with a *verify.Error carrying structured
 	// diagnostics (one per violated invariant).
 	Verify bool
+	// CompileWorkers bounds the compiler's internal parallelism: the
+	// independent back-end phases (skew analysis, IU and host code
+	// generation, verification) and their per-channel/per-stream/
+	// per-invariant work run concurrently on up to this many workers.
+	// 0 defaults to GOMAXPROCS; 1 compiles serially.  The compiled
+	// program is byte-identical at every setting; only compile wall
+	// time varies.
+	CompileWorkers int
 	// Recorder, when set, receives compile-phase events during Compile
 	// and per-cycle simulator events during Run/RunTraced (see
 	// internal/obs).  Leave nil for the zero-overhead default.
@@ -108,11 +116,12 @@ type Program struct {
 func Compile(src string, opts Options) (*Program, error) {
 	start := time.Now()
 	c, err := driver.Compile(src, driver.Options{
-		NoOptimize: opts.NoOptimize,
-		Pipeline:   opts.Pipeline,
-		Cells:      opts.Cells,
-		Verify:     opts.Verify,
-		Recorder:   opts.Recorder,
+		NoOptimize:     opts.NoOptimize,
+		Pipeline:       opts.Pipeline,
+		Cells:          opts.Cells,
+		Verify:         opts.Verify,
+		CompileWorkers: opts.CompileWorkers,
+		Recorder:       opts.Recorder,
 	})
 	if err != nil {
 		return nil, err
