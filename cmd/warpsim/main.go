@@ -107,6 +107,8 @@ func main() {
 		profile   = flag.Bool("profile", false, "record the exact source-line cycle profile and print the hot-spot and scheduler reports")
 		flamePath = flag.String("flame", "", "write the profile as folded flame-graph stacks (implies profiling)")
 		pprofPath = flag.String("pprof", "", "write the profile as gzipped pprof protobuf for `go tool pprof` (implies profiling)")
+		symFlag   = flag.Bool("symbolic", false, "treat program.w2 as a ${...} template and instantiate -bounds")
+		boundsFl  = flag.String("bounds", "", "bound vector for -symbolic, e.g. n=32 or k=5,n=128")
 		backend   = flag.String("backend", "auto", "execution backend: auto (fast for verified programs), sim, or fast")
 		crossFlag = flag.Bool("crosscheck", false, "run on both backends and fail unless outputs are bit-identical and cycles exactly equal")
 		progFlag  = flag.Bool("progress", false, "stream live run progress as a single updating stderr line")
@@ -137,6 +139,9 @@ func main() {
 		if *crossFlag {
 			fail(fmt.Errorf("-crosscheck applies to single-array runs, not fabric problem specs"))
 		}
+		if *symFlag {
+			fail(fmt.Errorf("-symbolic applies to single-program runs; fabric specs share templates through warpd"))
+		}
 		runFabric(spec, fabricFlags{
 			pipeline: *pipeline, arrays: *arrays, retries: *tileRetry,
 			deadline: *tileDL, maxCycles: *maxCycles, seed: *seed,
@@ -152,7 +157,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	prog, err := compileFor(src, warp.Options{Pipeline: *pipeline, Cells: *cells}, *backend, *crossFlag)
+	copts := warp.Options{Pipeline: *pipeline, Cells: *cells}
+	var prog *warp.Program
+	if *symFlag {
+		prog, err = compileSymbolicFor(src, copts, *boundsFl, *backend, *crossFlag)
+	} else {
+		prog, err = compileFor(src, copts, *backend, *crossFlag)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -291,6 +302,50 @@ func compileFor(src string, opts warp.Options, backend string, crosscheck bool) 
 	prog, err := warp.Compile(src, vopts)
 	if err != nil && backend != warp.BackendFast && !crosscheck && isVerifyError(err) {
 		return warp.Compile(src, opts)
+	}
+	return prog, err
+}
+
+// compileSymbolicFor is compileFor's -symbolic twin: the source is a
+// ${...} template, compiled once and instantiated at the -bounds
+// vector.  Backend handling matches the concrete path — fast and
+// -crosscheck demand a verified template, auto degrades to an
+// unverified one when verification rejects the instantiation.
+func compileSymbolicFor(src string, opts warp.Options, boundsArg, backend string, crosscheck bool) (*warp.Program, error) {
+	bounds, err := warp.ParseBounds(boundsArg)
+	if err != nil {
+		return nil, err
+	}
+	instantiate := func(o warp.Options) (*warp.Program, error) {
+		tmpl, err := warp.CompileTemplate(src, o)
+		if err != nil {
+			return nil, err
+		}
+		prog, detail, err := tmpl.ProgramDetail(bounds, nil)
+		if err != nil {
+			return nil, err
+		}
+		if detail.Symbolic {
+			fmt.Fprintf(os.Stderr, "template: instantiated symbolically from class [%s]\n", detail.Class)
+		} else {
+			fmt.Fprintf(os.Stderr, "template: concrete fallback (%s)\n", detail.FallbackReason)
+		}
+		return prog, nil
+	}
+	switch backend {
+	case "", warp.BackendAuto, warp.BackendFast:
+	case warp.BackendSim:
+		if !crosscheck {
+			return instantiate(opts)
+		}
+	default:
+		return nil, fmt.Errorf("bad -backend %q (want auto, sim or fast)", backend)
+	}
+	vopts := opts
+	vopts.Verify = true
+	prog, err := instantiate(vopts)
+	if err != nil && backend != warp.BackendFast && !crosscheck && isVerifyError(err) {
+		return instantiate(opts)
 	}
 	return prog, err
 }

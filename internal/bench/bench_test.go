@@ -193,7 +193,13 @@ func TestRunPinsBaselines(t *testing.T) {
 	got := map[string]int64{}
 	for _, e := range rep.Experiments {
 		got[e.Name] = e.Cycles
-		if e.Wall == nil || e.Wall.Iters != 1 || e.Wall.MedianNS <= 0 {
+		// The symbolic sweep densely samples its µs-scale instantiation
+		// loop (iters×5, floor 25) rather than running once per iter.
+		wantIters := 1
+		if e.Kind == "symbolic" {
+			wantIters = 25
+		}
+		if e.Wall == nil || e.Wall.Iters != wantIters || e.Wall.MedianNS <= 0 {
 			t.Errorf("%s: bad wall stats %+v", e.Name, e.Wall)
 		}
 	}
@@ -202,9 +208,10 @@ func TestRunPinsBaselines(t *testing.T) {
 			t.Errorf("%s = %d cycles, want the pinned baseline %d", name, got[name], cycles)
 		}
 	}
-	// +3 for the compile-scaling/colorseg-w{1,2,4} curve, +1 fastexec.
-	if want := len(compileCases()) + 3 + len(runCases()) + len(fabricCases()) + 1; len(rep.Experiments) != want {
-		t.Errorf("suite ran %d experiments, want %d (incl. scaling curve and fastexec)", len(rep.Experiments), want)
+	// +3 for the compile-scaling/colorseg-w{1,2,4} curve, +1 fastexec,
+	// +1 the symbolic instantiation sweep.
+	if want := len(compileCases()) + 3 + len(runCases()) + len(fabricCases()) + 2; len(rep.Experiments) != want {
+		t.Errorf("suite ran %d experiments, want %d (incl. scaling curve, fastexec and symbolic)", len(rep.Experiments), want)
 	}
 	// The fastexec backend comparison: Run itself verifies the two
 	// backends agree bit-for-bit before emitting the record, so here we
@@ -222,6 +229,23 @@ func TestRunPinsBaselines(t *testing.T) {
 	if fx.Name != "fastexec/matmul32" || fx.Cycles <= 0 || fx.Speedup <= 0 ||
 		fx.SimWall == nil || fx.Wall == nil {
 		t.Errorf("malformed fastexec record: %+v", fx)
+	}
+	// The symbolic instantiation sweep: Run differentially checks every
+	// sweep size against a from-scratch compile before timing, so here
+	// we only check the record's shape (the 20× floor is gated by
+	// Compare, not asserted on a loaded CI host).
+	var sy *Experiment
+	for i := range rep.Experiments {
+		if rep.Experiments[i].Kind == "symbolic" {
+			sy = &rep.Experiments[i]
+		}
+	}
+	if sy == nil {
+		t.Fatal("no symbolic experiment in the suite")
+	}
+	if sy.Name != "symbolic/instantiate-sweep" || sy.Cycles <= 0 || sy.Speedup <= 0 ||
+		sy.Sizes != 7 || sy.CompileWall == nil || sy.Wall == nil {
+		t.Errorf("malformed symbolic record: %+v", sy)
 	}
 	// The fabric scaling curve: the 4-array farm's modeled speedup over
 	// one array must clear 2× (the acceptance bar), and the tile
@@ -331,6 +355,36 @@ func TestFastexecSpeedupGate(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(v.Warnings, "\n"), "speedup drifted") {
 		t.Errorf("15x -> 5.5x drift should warn: %v", v.Warnings)
+	}
+}
+
+// TestSymbolicSpeedupGate checks the symbolic twin of the fastexec
+// gate: an instantiation sweep whose speedup over a cold compile fell
+// below SymbolicSpeedupFloor fails regardless of thresholds, while
+// above-floor drift only warns.
+func TestSymbolicSpeedupGate(t *testing.T) {
+	base := rpt(Experiment{Name: "symbolic/instantiate-sweep", Kind: "symbolic", Cycles: 100, Sizes: 7, Speedup: 900.0})
+	below := rpt(Experiment{Name: "symbolic/instantiate-sweep", Kind: "symbolic", Cycles: 100, Sizes: 7, Speedup: 12.0})
+	v := Compare(base, below, 0.10, 0.50, 0)
+	if v.OK() {
+		t.Fatal("speedup 12x must fail the 20x floor")
+	}
+	if !strings.Contains(strings.Join(v.Regressions, "\n"), "below the 20x floor") {
+		t.Errorf("regression does not name the floor: %v", v.Regressions)
+	}
+	ok := rpt(Experiment{Name: "symbolic/instantiate-sweep", Kind: "symbolic", Cycles: 100, Sizes: 7, Speedup: 80.0})
+	v = Compare(base, ok, 0.10, 0.50, 0)
+	if !v.OK() {
+		t.Fatalf("80x is above the floor, drift must be warn-only: %v", v.Regressions)
+	}
+	if !strings.Contains(strings.Join(v.Warnings, "\n"), "speedup drifted") {
+		t.Errorf("900x -> 80x drift should warn: %v", v.Warnings)
+	}
+	// A shrunken sweep is a deterministic-counter regression: sizes
+	// silently dropping means coverage loss, not noise.
+	narrow := rpt(Experiment{Name: "symbolic/instantiate-sweep", Kind: "symbolic", Cycles: 100, Sizes: 3, Speedup: 900.0})
+	if v := Compare(base, narrow, 0.10, 0.50, 0); len(v.Warnings)+len(v.Regressions) == 0 {
+		t.Error("sweep shrinking 7 -> 3 sizes must at least warn")
 	}
 }
 

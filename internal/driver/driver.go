@@ -18,8 +18,8 @@ import (
 	"time"
 
 	"warp/internal/cellgen"
-	"warp/internal/conc"
 	"warp/internal/commgraph"
+	"warp/internal/conc"
 	"warp/internal/fastexec"
 	"warp/internal/hostgen"
 	"warp/internal/interp"
@@ -64,6 +64,28 @@ type Options struct {
 	// forwarded to the simulator by RunObserved's callers).  nil
 	// disables emission; Compiled.Phases is recorded either way.
 	Recorder obs.Recorder
+	// Symbolic routes the compile through the symbolic template
+	// subsystem: src is ${...}-parameterized W2, Bounds supplies the
+	// parameter values, and the artifact is instantiated from a cached
+	// template's closed forms when possible (byte-identical to the
+	// concrete compile of the substituted source).  Requires the
+	// symbolic package to be linked in (importing the warp package or
+	// internal/symbolic registers it).
+	Symbolic bool
+	// Bounds are the template parameter values for a Symbolic compile.
+	Bounds map[string]int64
+}
+
+// symbolicCompile is the registered symbolic-compilation hook.  The
+// symbolic subsystem lives above this package (it drives Compile for
+// its probe grid), so the dependency is inverted: internal/symbolic
+// registers itself at init and Compile dispatches through the hook.
+var symbolicCompile func(src string, opts Options) (*Compiled, error)
+
+// RegisterSymbolic installs the symbolic-compilation hook; called from
+// internal/symbolic's init.
+func RegisterSymbolic(fn func(src string, opts Options) (*Compiled, error)) {
+	symbolicCompile = fn
 }
 
 // Compiled is the full result of compiling one W2 module.
@@ -129,6 +151,35 @@ type Compiled struct {
 	fastOnce sync.Once
 	fastPlan *fastexec.Plan
 	fastErr  error
+
+	// Symbolically instantiated artifacts carry only the minimal Info
+	// the run path reads (host symbol layout, module identity); the full
+	// analyzed AST the reference interpreter wants is rebuilt lazily
+	// from Src on first use.
+	fullOnce sync.Once
+	fullInfo *w2.Info
+	fullErr  error
+}
+
+// FullInfo returns the fully analyzed module (the AST view the
+// reference interpreter executes).  Concretely compiled programs
+// already carry it; symbolically instantiated ones re-parse their
+// source on first call and cache the result.
+func (c *Compiled) FullInfo() (*w2.Info, error) {
+	if c.IR != nil {
+		// A concrete compile always built the full Info on the way to
+		// its flowgraph.
+		return c.Info, nil
+	}
+	c.fullOnce.Do(func() {
+		mod, err := w2.Parse(c.Src)
+		if err != nil {
+			c.fullErr = err
+			return
+		}
+		c.fullInfo, c.fullErr = w2.Analyze(mod)
+	})
+	return c.fullInfo, c.fullErr
 }
 
 // FastPlan returns the compiled program's fast-execution plan, building
@@ -155,6 +206,12 @@ func (c *Compiled) FastPlan() (*fastexec.Plan, error) {
 // the plain schedule; the rollback is recorded in PipelineBackoff,
 // BackoffReason and a "pipeline-backoff" phase entry.
 func Compile(src string, opts Options) (*Compiled, error) {
+	if opts.Symbolic {
+		if symbolicCompile == nil {
+			return nil, errors.New("driver: symbolic compilation not linked in (import warp or warp/internal/symbolic)")
+		}
+		return symbolicCompile(src, opts)
+	}
 	c, err := compile(src, opts)
 	// A verification failure is a verdict on the pipelined schedule
 	// itself, not an IU capacity limit: report it rather than silently
@@ -656,5 +713,9 @@ func runFast(c *Compiled, hostMem []float64, o RunOptions) (*sim.Stats, error) {
 // Run2Interp runs the reference interpreter on a compiled program's
 // analyzed module (convenience for tests and tools).
 func Run2Interp(c *Compiled, inputs map[string][]float64) (map[string][]float64, error) {
-	return interp.Run(c.Info, inputs)
+	info, err := c.FullInfo()
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(info, inputs)
 }

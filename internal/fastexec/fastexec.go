@@ -671,10 +671,10 @@ func (p *Plan) Execute(hostMem []float64, cfg ExecConfig) (*Result, error) {
 		hostMem:  hostMem,
 		ctx:      cfg.Ctx,
 		progress: cfg.Progress,
-		mem:     make([]float64, mcode.MemWords),
-		curX:    make([]float64, 0, p.sendX),
-		curY:    make([]float64, 0, p.sendY),
-		sent:    map[w2.Channel]int{},
+		mem:      make([]float64, mcode.MemWords),
+		curX:     make([]float64, 0, p.sendX),
+		curY:     make([]float64, 0, p.sendY),
+		sent:     map[w2.Channel]int{},
 	}
 	for i := 0; i < p.cells; i++ {
 		if err := p.runCell(st, i); err != nil {

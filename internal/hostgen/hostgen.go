@@ -54,10 +54,10 @@ type stream struct {
 type opKind uint8
 
 const (
-	opInLiteral opKind = iota // In word, literal value
-	opInExt                   // In word, resolved host index
-	opOutExt                  // Out index, resolved
-	opOutDiscard              // Out index, Discard
+	opInLiteral  opKind = iota // In word, literal value
+	opInExt                    // In word, resolved host index
+	opOutExt                   // Out index, resolved
+	opOutDiscard               // Out index, Discard
 )
 
 // opTerm is one affine term of a resolved host address: coefficient

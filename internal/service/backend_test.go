@@ -80,7 +80,7 @@ func TestServiceBackendSelection(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var sb strings.Builder
-	svc.Metrics().WritePrometheus(&sb, svc.CacheStats(), svc.PoolStats())
+	svc.Metrics().WritePrometheus(&sb, svc.CacheStats(), svc.TemplateCacheStats(), svc.PoolStats())
 	text := sb.String()
 	for _, want := range []string{
 		`warpd_backend_runs_total{backend="fast"} 2`,

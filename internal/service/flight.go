@@ -35,6 +35,10 @@ type RequestRecord struct {
 	// the reason, and the cost model's predicted wall times beside the
 	// measured one.
 	Decision *warp.Decision `json:"decision,omitempty"`
+	// Template reports how a symbolic request's program was produced:
+	// closed-form instantiation (and from which residue class) or a
+	// concrete fallback compile and why.
+	Template *warp.TemplateDetail `json:"template,omitempty"`
 }
 
 // flightRecorder is a fixed-size ring of the last N RequestRecords —

@@ -263,9 +263,10 @@ func (m *Metrics) RunQuantileSeconds(q float64) float64 {
 	return merged.Quantile(q)
 }
 
-// WritePrometheus renders the registry, plus the given cache and pool
-// snapshots, in the Prometheus text exposition format (version 0.0.4).
-func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
+// WritePrometheus renders the registry, plus the given cache, template
+// cache and pool snapshots, in the Prometheus text exposition format
+// (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ts TemplateCacheStats, ps PoolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -357,6 +358,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, ps PoolStats) {
 	fmt.Fprintf(w, "# HELP warpd_cache_evictions_total LRU evictions.\n")
 	fmt.Fprintf(w, "# TYPE warpd_cache_evictions_total counter\n")
 	fmt.Fprintf(w, "warpd_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(w, "# HELP warpd_template_entries Symbolic templates resident in the template cache.\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_entries gauge\n")
+	fmt.Fprintf(w, "warpd_template_entries %d\n", ts.Templates)
+	fmt.Fprintf(w, "# HELP warpd_template_programs Instantiated programs resident across all templates.\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_programs gauge\n")
+	fmt.Fprintf(w, "warpd_template_programs %d\n", ts.Programs)
+	fmt.Fprintf(w, "# HELP warpd_template_hits_total Template-cache hits (instantiated program already resident).\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_hits_total counter\n")
+	fmt.Fprintf(w, "warpd_template_hits_total %d\n", ts.Hits)
+	fmt.Fprintf(w, "# HELP warpd_template_misses_total Template-cache misses (instantiation or fallback started).\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_misses_total counter\n")
+	fmt.Fprintf(w, "warpd_template_misses_total %d\n", ts.Misses)
+	fmt.Fprintf(w, "# HELP warpd_template_instantiations_total Programs produced from closed-form templates (no concrete compile).\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_instantiations_total counter\n")
+	fmt.Fprintf(w, "warpd_template_instantiations_total %d\n", ts.Instantiations)
+	fmt.Fprintf(w, "# HELP warpd_template_fallbacks_total Symbolic requests served by a concrete fallback compile.\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_fallbacks_total counter\n")
+	fmt.Fprintf(w, "warpd_template_fallbacks_total %d\n", ts.Fallbacks)
+	fmt.Fprintf(w, "# HELP warpd_template_evictions_total Instantiated programs evicted from the template cache.\n")
+	fmt.Fprintf(w, "# TYPE warpd_template_evictions_total counter\n")
+	fmt.Fprintf(w, "warpd_template_evictions_total %d\n", ts.Evictions)
 
 	fmt.Fprintf(w, "# HELP warpd_queue_depth Jobs waiting in the admission queue.\n")
 	fmt.Fprintf(w, "# TYPE warpd_queue_depth gauge\n")

@@ -213,9 +213,9 @@ func labelKey(labels map[string]string) string {
 func checkHistograms(t *testing.T, doc *promDoc) {
 	t.Helper()
 	type series struct {
-		les    []float64
-		counts []float64
-		sums   int
+		les          []float64
+		counts       []float64
+		sums         int
 		counts_total []float64
 	}
 	for fam, typ := range doc.types {

@@ -55,6 +55,14 @@ type Config struct {
 	// Compile substitutes the compiler entry point (nil = warp.Compile);
 	// tests use it to instrument driver invocations.
 	Compile CompileFunc
+	// CompileTemplate substitutes the symbolic template entry point
+	// (nil = warp.CompileTemplate); tests use it to count template
+	// builds behind the template cache.
+	CompileTemplate TemplateCompileFunc
+	// TemplatePrograms caps how many instantiated programs each
+	// resident template keeps (default 64); the template count itself
+	// is bounded by CacheSize.
+	TemplatePrograms int
 	// Logger receives one structured record per served request (ID,
 	// outcome, span durations).  nil discards.
 	Logger *slog.Logger
@@ -67,15 +75,16 @@ type Config struct {
 // Server is the compile-and-run service: an http.Handler in front of
 // the compile cache and the simulation worker pool.
 type Server struct {
-	cache    *Cache
-	pool     *Pool
-	metrics  *Metrics
-	cfg      Config
-	mux      *http.ServeMux
-	log      *slog.Logger
-	flight   *flightRecorder
-	progress *progressHub
-	seq      atomic.Int64 // request-ID counter
+	cache     *Cache
+	templates *TemplateCache
+	pool      *Pool
+	metrics   *Metrics
+	cfg       Config
+	mux       *http.ServeMux
+	log       *slog.Logger
+	flight    *flightRecorder
+	progress  *progressHub
+	seq       atomic.Int64 // request-ID counter
 }
 
 // New builds a Server from the config, applying defaults for zero
@@ -115,15 +124,19 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.TemplatePrograms == 0 {
+		cfg.TemplatePrograms = 64
+	}
 	s := &Server{
-		cache:    NewCache(cfg.CacheSize, cfg.Compile),
-		pool:     NewPool(cfg.Workers, cfg.QueueCap),
-		metrics:  NewMetrics(),
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		log:      logger,
-		flight:   newFlightRecorder(cfg.FlightSize),
-		progress: newProgressHub(cfg.FlightSize),
+		cache:     NewCache(cfg.CacheSize, cfg.Compile),
+		templates: NewTemplateCache(cfg.CacheSize, cfg.TemplatePrograms, cfg.CompileTemplate),
+		pool:      NewPool(cfg.Workers, cfg.QueueCap),
+		metrics:   NewMetrics(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		log:       logger,
+		flight:    newFlightRecorder(cfg.FlightSize),
+		progress:  newProgressHub(cfg.FlightSize),
 	}
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /run", s.handleRun)
@@ -151,7 +164,17 @@ type CompileOptions struct {
 	NoOptimize bool `json:"no_optimize,omitempty"`
 	Pipeline   bool `json:"pipeline,omitempty"`
 	Cells      int  `json:"cells,omitempty"`
+	// Symbolic compiles the source as a ${...} template through the
+	// template cache: the first request per (source, options) pays the
+	// probe compiles, later bound vectors instantiate in microseconds.
+	// Bounds gives the template parameter values (e.g. {"n": 32});
+	// non-empty Bounds implies Symbolic.
+	Symbolic bool             `json:"symbolic,omitempty"`
+	Bounds   map[string]int64 `json:"bounds,omitempty"`
 }
+
+// symbolic reports whether the request asked for the template path.
+func (o CompileOptions) symbolic() bool { return o.Symbolic || len(o.Bounds) > 0 }
 
 func (o CompileOptions) warpOptions() warp.Options {
 	return warp.Options{NoOptimize: o.NoOptimize, Pipeline: o.Pipeline, Cells: o.Cells}
@@ -181,14 +204,17 @@ type ParamJSON struct {
 }
 
 // CompileResponse carries the program's content address for later /run
-// calls, plus the compiler metrics.
+// calls, plus the compiler metrics.  Template reports how a symbolic
+// request was served (closed-form instantiation or concrete fallback,
+// and which residue class).
 type CompileResponse struct {
-	Program string      `json:"program"` // content address (cache key)
-	Cached  bool        `json:"cached"`
-	Module  string      `json:"module"`
-	Cells   int         `json:"cells"`
-	Skew    int64       `json:"skew"`
-	Params  []ParamJSON `json:"params"`
+	Program  string               `json:"program"` // content address (cache key)
+	Cached   bool                 `json:"cached"`
+	Module   string               `json:"module"`
+	Cells    int                  `json:"cells"`
+	Skew     int64                `json:"skew"`
+	Params   []ParamJSON          `json:"params"`
+	Template *warp.TemplateDetail `json:"template,omitempty"`
 }
 
 // RunRequest executes a program: either a previously returned content
@@ -415,7 +441,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	rc := s.beginRequest("/compile")
 	start := time.Now()
 	cacheSpan := rc.tr.StartSpan("cache", rc.root)
-	prog, key, hit, err := s.cache.GetObserved(r.Context(), req.Source, s.options(req.Options),
+	prog, key, hit, detail, err := s.getProgram(r.Context(), req.Source, req.Options,
 		obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
 		cacheSpan.End()
@@ -429,8 +455,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cacheSpan.Annotate("result", cacheResult(hit))
+	if detail != nil {
+		annotateTemplate(cacheSpan, detail)
+	}
 	cacheSpan.End()
-	rc.program, rc.cached = key, hit
+	rc.program, rc.cached, rc.template = key, hit, detail
 	s.metrics.Compile(cacheResult(hit), time.Since(start).Seconds())
 	if !hit {
 		s.metrics.CompilePhases(prog.Phases())
@@ -438,11 +467,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.finishRequest(rc, nil)
 	resp := CompileResponse{
-		Program: key,
-		Cached:  hit,
-		Module:  prog.Metrics().Name,
-		Cells:   prog.Cells(),
-		Skew:    prog.Skew(),
+		Program:  key,
+		Cached:   hit,
+		Module:   prog.Metrics().Name,
+		Cells:    prog.Cells(),
+		Skew:     prog.Skew(),
+		Template: detail,
 	}
 	for _, p := range prog.Params() {
 		resp.Params = append(resp.Params, ParamJSON{Name: p.Name, Out: p.Out, Size: p.Size})
@@ -450,23 +480,53 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// getProgram resolves (source, options) through the right cache:
+// symbolic requests go through the template cache (template compiled
+// once, program instantiated per bound vector), everything else
+// through the plain compile cache.  rec receives compile or
+// instantiation Phase events when this request does the work.
+func (s *Server) getProgram(ctx context.Context, src string, o CompileOptions, rec obs.Recorder) (*warp.Program, string, bool, *warp.TemplateDetail, error) {
+	if o.symbolic() {
+		return s.templates.GetObserved(ctx, src, s.options(o), o.Bounds, rec)
+	}
+	prog, key, hit, err := s.cache.GetObserved(ctx, src, s.options(o), rec)
+	return prog, key, hit, nil, err
+}
+
+// annotateTemplate stamps how a symbolic request was served onto its
+// cache span, so request traces tell instantiations from fallbacks.
+func annotateTemplate(sp *obs.Span, d *warp.TemplateDetail) {
+	sp.Annotate("symbolic", fmt.Sprint(d.Symbolic))
+	if d.Class != "" {
+		sp.Annotate("class", d.Class)
+	}
+	if d.FallbackReason != "" {
+		sp.Annotate("fallback_reason", d.FallbackReason)
+	}
+}
+
 // resolve produces the program for a run request, through the cache.
 // rec receives compiler Phase events if this request ends up compiling.
-func (s *Server) resolve(ctx context.Context, req *RunRequest, rec obs.Recorder) (*warp.Program, string, bool, error) {
+func (s *Server) resolve(ctx context.Context, req *RunRequest, rec obs.Recorder) (*warp.Program, string, bool, *warp.TemplateDetail, error) {
 	switch {
 	case req.Program != "" && req.Source != "":
-		return nil, "", false, &httpError{http.StatusBadRequest, "give either program or source, not both"}
+		return nil, "", false, nil, &httpError{http.StatusBadRequest, "give either program or source, not both"}
 	case req.Program != "":
 		prog, ok := s.cache.Lookup(req.Program)
 		if !ok {
-			return nil, "", false, &httpError{http.StatusNotFound,
+			// Instantiated programs live in the template cache under
+			// their own (template, bounds) content addresses.
+			prog, ok = s.templates.Lookup(req.Program)
+		}
+		if !ok {
+			return nil, "", false, nil, &httpError{http.StatusNotFound,
 				fmt.Sprintf("unknown or evicted program %q; POST /compile again", req.Program)}
 		}
-		return prog, req.Program, true, nil
+		return prog, req.Program, true, nil, nil
 	case req.Source != "":
-		return s.cache.GetObserved(ctx, req.Source, s.options(req.Options), rec)
+		return s.getProgram(ctx, req.Source, req.Options, rec)
 	}
-	return nil, "", false, &httpError{http.StatusBadRequest, "missing program or source"}
+	return nil, "", false, nil, &httpError{http.StatusBadRequest, "missing program or source"}
 }
 
 // runOne serves one run request end to end: resolve (cache), admit
@@ -486,7 +546,7 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 	// with a terminal event (a no-op when the run delivered its own).
 	defer ent.finish()
 	cacheSpan := rc.tr.StartSpan("cache", rc.root)
-	prog, key, hit, err := s.resolve(ctx, req, obs.SpanPhases(rc.tr, cacheSpan))
+	prog, key, hit, detail, err := s.resolve(ctx, req, obs.SpanPhases(rc.tr, cacheSpan))
 	if err != nil {
 		cacheSpan.End()
 		s.metrics.Run("error", "", 0, obsSummaryZero)
@@ -494,8 +554,11 @@ func (s *Server) runOne(ctx context.Context, endpoint string, req *RunRequest) (
 		return nil, err
 	}
 	cacheSpan.Annotate("result", cacheResult(hit))
+	if detail != nil {
+		annotateTemplate(cacheSpan, detail)
+	}
 	cacheSpan.End()
-	rc.program, rc.cached = key, hit
+	rc.program, rc.cached, rc.template = key, hit, detail
 	if !hit {
 		s.metrics.CompilePhases(prog.Phases())
 		s.metrics.CompileSched(prog.Sched().Totals())
@@ -774,7 +837,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.cache.Stats(), s.pool.Stats())
+	s.metrics.WritePrometheus(w, s.cache.Stats(), s.templates.Stats(), s.pool.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -787,6 +850,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // CacheStats snapshots the compile cache.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// TemplateCacheStats snapshots the symbolic template cache.
+func (s *Server) TemplateCacheStats() TemplateCacheStats { return s.templates.Stats() }
 
 // PoolStats snapshots the worker pool.
 func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }

@@ -24,8 +24,9 @@ type requestCtx struct {
 	program  string // content address, once resolved
 	cached   bool
 	cycles   int64
-	source   *warp.SourceProfile // set when the request ran with profiling
-	decision *warp.Decision      // backend decision audit, once the run completed
+	source   *warp.SourceProfile  // set when the request ran with profiling
+	decision *warp.Decision       // backend decision audit, once the run completed
+	template *warp.TemplateDetail // set when a symbolic request resolved its program
 }
 
 // beginRequest assigns a request ID and opens the root span.  When the
@@ -74,6 +75,7 @@ func (s *Server) finishRequest(rc *requestCtx, err error) {
 		TotalNS:  total,
 		Spans:    spans,
 		Decision: rc.decision,
+		Template: rc.template,
 	}
 	if rc.source != nil {
 		rec.HasProfile = true

@@ -1,0 +1,278 @@
+package symbolic
+
+import (
+	"warp/internal/cellgen"
+	"warp/internal/driver"
+	"warp/internal/iugen"
+	"warp/internal/mcode"
+	"warp/internal/prof"
+	"warp/internal/verify"
+	"warp/internal/w2"
+)
+
+// cloner deep-copies the class-base compilation into a fresh mutable
+// artifact for the write-mode walker to patch.  Symbols are cloned once
+// and shared (so an address descriptor and the host symbol table keep
+// referring to the same object); AST nodes (*w2.ForStmt) are shared
+// with the class base outright — the walker treats them as pure
+// structure and never writes through them.
+//
+// The tiny per-field op structs are carved out of chunked arenas
+// instead of individual allocations: instantiation is the subsystem's
+// whole value proposition, and on instruction-heavy programs the
+// hundreds of 16–64 byte clones otherwise dominate its wall time.
+// Arena chunks live exactly as long as the instructions pointing into
+// them, so ownership is unchanged — each Instantiate still returns a
+// fully independent artifact.
+type cloner struct {
+	syms map[*w2.Symbol]*w2.Symbol
+
+	instrs   []mcode.Instr
+	iuInstrs []mcode.IUInstr
+	alu      []mcode.AluOp
+	mem      []mcode.MemOp
+	io       []mcode.IOOp
+}
+
+const arenaChunk = 64
+
+func (cl *cloner) aluOp(src *mcode.AluOp) *mcode.AluOp {
+	if src == nil {
+		return nil
+	}
+	if len(cl.alu) == 0 {
+		cl.alu = make([]mcode.AluOp, arenaChunk)
+	}
+	op := &cl.alu[0]
+	cl.alu = cl.alu[1:]
+	*op = *src
+	return op
+}
+
+func (cl *cloner) memOp(src *mcode.MemOp) *mcode.MemOp {
+	if len(cl.mem) == 0 {
+		cl.mem = make([]mcode.MemOp, arenaChunk)
+	}
+	op := &cl.mem[0]
+	cl.mem = cl.mem[1:]
+	*op = mcode.MemOp{Store: src.Store, Reg: src.Reg, Addr: cl.addr(src.Addr)}
+	return op
+}
+
+func (cl *cloner) ioOp(src *mcode.IOOp) *mcode.IOOp {
+	if len(cl.io) == 0 {
+		cl.io = make([]mcode.IOOp, arenaChunk)
+	}
+	op := &cl.io[0]
+	cl.io = cl.io[1:]
+	*op = mcode.IOOp{Recv: src.Recv, Dir: src.Dir, Chan: src.Chan, Reg: src.Reg}
+	if src.Ext != nil {
+		ext := cl.addr(*src.Ext)
+		op.Ext = &ext
+	}
+	if src.ExtLiteral != nil {
+		v := *src.ExtLiteral
+		op.ExtLiteral = &v
+	}
+	if src.Delta != nil {
+		op.Delta = make(map[*w2.ForStmt]int64, len(src.Delta))
+		for l, d := range src.Delta {
+			op.Delta[l] = d
+		}
+	}
+	return op
+}
+
+// cloneCompiled builds the instantiation skeleton from the class base.
+// The variable-length artifacts (host streams, IU table) are left empty
+// for the stream emitter; IR and Comm are compile-internal and not
+// reproduced; Info carries only what the run path reads (module
+// identity, host symbol layout) — the full AST view is rebuilt lazily
+// by driver.EnsureFullInfo when the reference interpreter needs it.
+func cloneCompiled(b *driver.Compiled) *driver.Compiled {
+	cl := &cloner{syms: map[*w2.Symbol]*w2.Symbol{}}
+	c := &driver.Compiled{
+		Module: &w2.Module{
+			Name: b.Module.Name,
+			Cells: &w2.CellProgram{
+				CellID: b.Module.Cells.CellID,
+				First:  b.Module.Cells.First,
+				Last:   b.Module.Cells.Last,
+			},
+		},
+		PipelineBackoff: b.PipelineBackoff,
+		BackoffReason:   b.BackoffReason,
+		OptStats:        b.OptStats,
+		Cell:            &mcode.CellProgram{Items: cl.cellItems(b.Cell.Items)},
+		IU:              &mcode.IUProgram{Items: cl.iuItems(b.IU.Items)},
+		IUGen:           &iugen.Result{},
+		Cells:           b.Cells,
+		W2Lines:         b.W2Lines,
+	}
+	*c.IUGen = *b.IUGen
+	c.IUGen.IU = c.IU
+
+	c.Info = &w2.Info{
+		Module:      c.Module,
+		HostSize:    b.Info.HostSize,
+		CellMemSize: b.Info.CellMemSize,
+	}
+	c.Info.HostSyms = make([]*w2.Symbol, len(b.Info.HostSyms))
+	for i, s := range b.Info.HostSyms {
+		c.Info.HostSyms[i] = cl.sym(s)
+	}
+
+	c.QueueOcc = make(map[w2.Channel]int64, len(b.QueueOcc))
+	for ch, n := range b.QueueOcc {
+		c.QueueOcc[ch] = n
+	}
+
+	sched := &prof.SchedProfile{
+		Loops: append([]prof.LoopSched(nil), b.Sched.Loops...),
+		Skews: append([]prof.SkewSearch(nil), b.Sched.Skews...),
+	}
+	c.Sched = sched
+	c.CellGen = &cellgen.Result{
+		Cell:           c.Cell,
+		PipelinedLoops: b.CellGen.PipelinedLoops,
+		Sched:          sched,
+	}
+
+	if b.Verified != nil {
+		rep := *b.Verified
+		rep.Sends = cloneChanMap(b.Verified.Sends)
+		rep.Recvs = cloneChanMap(b.Verified.Recvs)
+		rep.Data = make(map[w2.Channel]verify.Occ, len(b.Verified.Data))
+		for ch, o := range b.Verified.Data {
+			rep.Data[ch] = o
+		}
+		c.Verified = &rep
+	}
+	return c
+}
+
+func cloneChanMap(m map[w2.Channel]int64) map[w2.Channel]int64 {
+	out := make(map[w2.Channel]int64, len(m))
+	for ch, v := range m {
+		out[ch] = v
+	}
+	return out
+}
+
+func (cl *cloner) sym(s *w2.Symbol) *w2.Symbol {
+	if s == nil {
+		return nil
+	}
+	if c, ok := cl.syms[s]; ok {
+		return c
+	}
+	c := &w2.Symbol{Name: s.Name, Kind: s.Kind, Out: s.Out, Base: s.Base}
+	c.Type = w2.Type{Base: s.Type.Base, Dims: append([]int(nil), s.Type.Dims...)}
+	cl.syms[s] = c
+	return c
+}
+
+func (cl *cloner) addr(a mcode.AddrInfo) mcode.AddrInfo {
+	out := mcode.AddrInfo{
+		Sym:  cl.sym(a.Sym),
+		Base: a.Base,
+		Affine: w2.Affine{
+			Const: a.Affine.Const,
+			Terms: append([]w2.AffTerm(nil), a.Affine.Terms...),
+		},
+	}
+	if a.Delta != nil {
+		out.Delta = make(map[*w2.ForStmt]int64, len(a.Delta))
+		for l, d := range a.Delta {
+			out.Delta[l] = d
+		}
+	}
+	return out
+}
+
+func (cl *cloner) cellItems(items []mcode.CodeItem) []mcode.CodeItem {
+	out := make([]mcode.CodeItem, len(items))
+	for i, it := range items {
+		switch it := it.(type) {
+		case *mcode.Straight:
+			slab := make([]mcode.Instr, len(it.Instrs))
+			instrs := make([]*mcode.Instr, len(it.Instrs))
+			for j, in := range it.Instrs {
+				cl.instrInto(&slab[j], in)
+				instrs[j] = &slab[j]
+			}
+			out[i] = &mcode.Straight{Instrs: instrs}
+		case *mcode.LoopItem:
+			out[i] = &mcode.LoopItem{
+				ID: it.ID, Trips: it.Trips, Body: cl.cellItems(it.Body),
+				Src: it.Src, First: it.First, Step: it.Step,
+			}
+		}
+	}
+	return out
+}
+
+func (cl *cloner) instrInto(c *mcode.Instr, in *mcode.Instr) {
+	c.Pos, c.PC = in.Pos, in.PC
+	c.Add = cl.aluOp(in.Add)
+	c.Mul = cl.aluOp(in.Mul)
+	c.Mov = cl.aluOp(in.Mov)
+	for i, m := range in.Mem {
+		if m == nil {
+			continue
+		}
+		c.Mem[i] = cl.memOp(m)
+	}
+	if len(in.IO) > 0 {
+		c.IO = make([]*mcode.IOOp, len(in.IO))
+		for i, io := range in.IO {
+			c.IO[i] = cl.ioOp(io)
+		}
+	}
+	if in.Lit != nil {
+		lit := *in.Lit
+		c.Lit = &lit
+	}
+}
+
+func (cl *cloner) iuItems(items []mcode.IUItem) []mcode.IUItem {
+	out := make([]mcode.IUItem, len(items))
+	for i, it := range items {
+		switch it := it.(type) {
+		case *mcode.IUStraight:
+			slab := make([]mcode.IUInstr, len(it.Instrs))
+			instrs := make([]*mcode.IUInstr, len(it.Instrs))
+			for j, in := range it.Instrs {
+				cl.iuInstrInto(&slab[j], in)
+				instrs[j] = &slab[j]
+			}
+			out[i] = &mcode.IUStraight{Instrs: instrs}
+		case *mcode.IULoop:
+			out[i] = &mcode.IULoop{ID: it.ID, Trips: it.Trips, Body: cl.iuItems(it.Body)}
+		}
+	}
+	return out
+}
+
+func (cl *cloner) iuInstrInto(c *mcode.IUInstr, in *mcode.IUInstr) {
+	c.CtrWork = in.CtrWork
+	if in.Alu != nil {
+		op := *in.Alu
+		c.Alu = &op
+	}
+	if in.Imm != nil {
+		op := *in.Imm
+		c.Imm = &op
+	}
+	for i, o := range in.Out {
+		if o == nil {
+			continue
+		}
+		oc := *o
+		c.Out[i] = &oc
+	}
+	if in.Sig != nil {
+		sig := *in.Sig
+		c.Sig = &sig
+	}
+}

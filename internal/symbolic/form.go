@@ -1,0 +1,157 @@
+package symbolic
+
+import "fmt"
+
+// The closed forms a template stores are multivariate polynomials over
+// the bound vector, one per numeric leaf of the compiled artifact.
+// They are never manipulated symbolically: each class probes the
+// concrete compiler on a small tensor grid of bound vectors
+//
+//	b0 + t·P·e_i,  t = 0..gridSide-1 per parameter,
+//
+// and stores the mixed Newton forward differences of every leaf over
+// that grid.  Because the grid is arithmetic with step P, evaluation at
+// any in-class bound vector b reduces to integer t_i = (b_i-b0_i)/P and
+//
+//	f(t⃗) = Σ_k  Δ^{k⃗} · C(t_1,k_1)·…·C(t_p,k_p)
+//
+// with binomial weights C(t,k) — exact in int64, no rationals, a few
+// multiply-adds per leaf.  A polynomial of per-parameter degree
+// ≤ gridSide-1 is reproduced exactly; anything else is caught by the
+// held-out self-check probe and demotes the class to concrete
+// compilation.
+const (
+	// gridSide is the number of probe points per parameter: degree ≤ 3
+	// per parameter (the compiler's leaves are at most quadratic in a
+	// single bound — symbol base offsets like 2n² — but dynamic-op
+	// totals in the verifier report reach n³ on matmul-shaped nests,
+	// whence cubic).
+	gridSide = 4
+	// maxParams bounds the probe grid (gridSide^maxParams compiles per
+	// class); templates with more parameters fall back to concrete
+	// compilation.
+	maxParams = 3
+	// maxPeriod bounds the residue-class period; a structure whose
+	// invariance period (lcm of IU unroll factors and pipelined IIs)
+	// exceeds it is not worth templating.
+	maxPeriod = 16
+)
+
+// gridSize returns gridSide^p.
+func gridSize(p int) int {
+	n := 1
+	for i := 0; i < p; i++ {
+		n *= gridSide
+	}
+	return n
+}
+
+// diffGrid converts per-probe leaf values (indexed [probe][leaf],
+// row-major over the parameter grid) into per-leaf mixed forward
+// differences (indexed [leaf][probe]).  The transform is applied
+// in place along one axis at a time.
+func diffGrid(values [][]int64, nparams int) [][]int64 {
+	if len(values) == 0 {
+		return nil
+	}
+	k := len(values)
+	nleaves := len(values[0])
+	forms := make([][]int64, nleaves)
+	flat := make([]int64, nleaves*k)
+	for j := range forms {
+		forms[j] = flat[j*k : (j+1)*k]
+		for probe := 0; probe < k; probe++ {
+			forms[j][probe] = values[probe][j]
+		}
+	}
+	// Forward differences along each axis: with stride s between
+	// adjacent points on the axis, each line of gridSide points
+	// v0..v3 becomes v0, Δ¹, Δ², Δ³.
+	for axis := 0; axis < nparams; axis++ {
+		stride := 1
+		for a := axis + 1; a < nparams; a++ {
+			stride *= gridSide
+		}
+		for j := range forms {
+			g := forms[j]
+			for base := 0; base < k; base++ {
+				if (base/stride)%gridSide != 0 {
+					continue
+				}
+				for ord := 1; ord < gridSide; ord++ {
+					for i := gridSide - 1; i >= ord; i-- {
+						g[base+i*stride] -= g[base+(i-1)*stride]
+					}
+				}
+			}
+		}
+	}
+	return forms
+}
+
+// weights returns the tensor-product binomial basis C(t_i, k_i) for one
+// evaluation point, indexed like the probe grid (row-major over
+// parameters).  All t_i must be ≥ 0.
+func weights(ts []int64) []int64 {
+	per := make([][gridSide]int64, len(ts))
+	for i, t := range ts {
+		per[i][0] = 1
+		per[i][1] = t
+		per[i][2] = t * (t - 1) / 2
+		per[i][3] = t * (t - 1) * (t - 2) / 6
+	}
+	k := gridSize(len(ts))
+	w := make([]int64, k)
+	for idx := 0; idx < k; idx++ {
+		prod, rem := int64(1), idx
+		for i := len(ts) - 1; i >= 0; i-- {
+			prod *= per[i][rem%gridSide]
+			rem /= gridSide
+		}
+		w[idx] = prod
+	}
+	return w
+}
+
+// evalForm evaluates one leaf's difference grid against a weight
+// vector from weights().
+func evalForm(form, w []int64) int64 {
+	var v int64
+	for i, d := range form {
+		if d != 0 {
+			v += d * w[i]
+		}
+	}
+	return v
+}
+
+// probeBounds returns the bound vector of probe point idx (row-major
+// digit order over the free parameters) for a class based at b0 with
+// period p.  Pinned parameters keep their base values.
+func probeBounds(free []string, b0 map[string]int64, period int64, idx int) map[string]int64 {
+	b := copyBounds(b0)
+	rem := idx
+	for i := len(free) - 1; i >= 0; i-- {
+		b[free[i]] += int64(rem%gridSide) * period
+		rem /= gridSide
+	}
+	return b
+}
+
+// ts returns the integer grid coordinates of bounds relative to the
+// class base, or an error if the point is off-grid (below the base or
+// not on the period lattice) — such points are compiled concretely.
+func ts(params []string, b0, bounds map[string]int64, period int64) ([]int64, error) {
+	out := make([]int64, len(params))
+	for i, p := range params {
+		d := bounds[p] - b0[p]
+		if d < 0 {
+			return nil, fmt.Errorf("bound %s=%d below class base %d", p, bounds[p], b0[p])
+		}
+		if d%period != 0 {
+			return nil, fmt.Errorf("bound %s=%d off the class lattice (base %d, period %d)", p, bounds[p], b0[p], period)
+		}
+		out[i] = d / period
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package symbolic
+
+import (
+	"fmt"
+	"sync"
+
+	"warp/internal/driver"
+)
+
+// The driver cannot import this package (the probe compiles run through
+// driver.Compile), so symbolic compilation is wired in by registration:
+// importing this package routes driver.Options.Symbolic requests here.
+func init() {
+	driver.RegisterSymbolic(compileSymbolic)
+}
+
+// registry caches one Template per (source, compile-options) pair so
+// repeated symbolic driver.Compile calls — and fabric tiles sharing a
+// kernel family — amortize the probe compiles across the process.
+var registry sync.Map // key string -> *registryEntry
+
+type registryEntry struct {
+	once sync.Once
+	tmpl *Template
+	err  error
+}
+
+// SharedTemplate returns the process-wide cached template for (src,
+// opts), building it on first use.  Options that do not change the
+// compiled artifact (Recorder, CompileWorkers) do not split the cache.
+func SharedTemplate(src string, opts driver.Options) (*Template, error) {
+	opts.Symbolic, opts.Bounds, opts.Recorder = false, nil, nil
+	key := fmt.Sprintf("%v|%v|%d|%v|%s", opts.NoOptimize, opts.Pipeline, opts.Cells, opts.Verify, src)
+	v, _ := registry.LoadOrStore(key, &registryEntry{})
+	e := v.(*registryEntry)
+	e.once.Do(func() { e.tmpl, e.err = CompileTemplate(src, opts) })
+	return e.tmpl, e.err
+}
+
+// compileSymbolic serves driver.Compile calls with Options.Symbolic
+// set: instantiate from the shared template when the source is
+// parameterized, or compile concretely when it is not (a plain source
+// has nothing to instantiate and Bounds must be empty).
+func compileSymbolic(src string, opts driver.Options) (*driver.Compiled, error) {
+	bounds, rec := opts.Bounds, opts.Recorder
+	opts.Symbolic, opts.Bounds = false, nil
+	if !IsSymbolic(src) {
+		if len(bounds) > 0 {
+			return nil, fmt.Errorf("symbolic: bounds given but source has no ${...} parameters")
+		}
+		return driver.Compile(src, opts)
+	}
+	tmpl, err := SharedTemplate(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := tmpl.InstantiateObserved(bounds, rec)
+	return c, err
+}

@@ -1,0 +1,209 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"warp/internal/driver"
+	"warp/internal/hostgen"
+	"warp/internal/w2"
+)
+
+// The host word streams and the IU address table are the two artifacts
+// whose *length* varies with the bounds (a 512×512 image workload's
+// streams run to millions of words), so they cannot be patched in
+// place like the fixed-shape leaves.  Instead each stream is segmented
+// into maximal runs — literal repetitions and arithmetic progressions
+// over host/table indices — and each run contributes its (start,
+// stride, count) as ordinary closed-form leaves.  Regular address
+// patterns (row-major array traversals, constant paddings, discard
+// gaps) collapse to a handful of runs regardless of size, and
+// instantiation re-emits the words with one tight loop per run.
+//
+// The segmentation is greedy and deterministic, so structurally
+// similar streams segment identically at every probe; a stream whose
+// run structure shifts with the bounds produces differing skeletons
+// and demotes the class to concrete compilation.
+
+// runDef is the structural half of one run: whether it repeats a
+// literal word (and which), or walks an index progression.
+type runDef struct {
+	lit    bool
+	litVal float64
+}
+
+// streamDef is the structural half of one stream: its identity plus
+// the run sequence.  The numeric half (per-run start/stride/count)
+// lives in the class leaf vector.
+type streamDef struct {
+	kind string // "in", "out", "table"
+	ch   w2.Channel
+	runs []runDef
+}
+
+// selem is one stream element in the common shape the segmenter works
+// on: a literal word or an integer value (host index, output index,
+// table word).
+type selem struct {
+	lit bool
+	f   float64
+	v   int64
+}
+
+// segmentStream splits elems into maximal runs, appending each run's
+// structure to the skeleton and its numeric parameters to the leaf
+// vector.  Literal runs contribute one leaf (count); index runs
+// contribute three (start, stride, count).
+func segmentStream(name string, elems []selem, sk *strings.Builder, leaves *[]int64) []runDef {
+	fmt.Fprintf(sk, "stream %s\n", name)
+	var runs []runDef
+	for i := 0; i < len(elems); {
+		e := elems[i]
+		if e.lit {
+			j := i + 1
+			for j < len(elems) && elems[j].lit && sameFloat(elems[j].f, e.f) {
+				j++
+			}
+			fmt.Fprintf(sk, "run L %s\n", strconv.FormatFloat(e.f, 'x', -1, 64))
+			*leaves = append(*leaves, int64(j-i))
+			runs = append(runs, runDef{lit: true, litVal: e.f})
+			i = j
+			continue
+		}
+		stride := int64(0)
+		j := i + 1
+		if j < len(elems) && !elems[j].lit {
+			stride = elems[j].v - e.v
+			j++
+			for j < len(elems) && !elems[j].lit && elems[j].v-elems[j-1].v == stride {
+				j++
+			}
+		}
+		fmt.Fprintf(sk, "run I\n")
+		*leaves = append(*leaves, e.v, stride, int64(j-i))
+		runs = append(runs, runDef{})
+		i = j
+	}
+	fmt.Fprintf(sk, "endstream %d\n", len(runs))
+	return runs
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// extractStreams segments every variable-length artifact of a compile
+// in canonical order, returning the structural stream definitions.
+func extractStreams(c *driver.Compiled, sk *strings.Builder, leaves *[]int64) []streamDef {
+	var defs []streamDef
+	for _, ch := range sortedChans(c.Host.In) {
+		elems := make([]selem, len(c.Host.In[ch]))
+		for i, word := range c.Host.In[ch] {
+			if word.Literal {
+				elems[i] = selem{lit: true, f: word.Value}
+			} else {
+				elems[i] = selem{v: int64(word.Index)}
+			}
+		}
+		runs := segmentStream(fmt.Sprintf("in %s", ch), elems, sk, leaves)
+		defs = append(defs, streamDef{kind: "in", ch: ch, runs: runs})
+	}
+	for _, ch := range sortedChans(c.Host.Out) {
+		elems := make([]selem, len(c.Host.Out[ch]))
+		for i, idx := range c.Host.Out[ch] {
+			elems[i] = selem{v: int64(idx)}
+		}
+		runs := segmentStream(fmt.Sprintf("out %s", ch), elems, sk, leaves)
+		defs = append(defs, streamDef{kind: "out", ch: ch, runs: runs})
+	}
+	elems := make([]selem, len(c.IU.Table))
+	for i, v := range c.IU.Table {
+		elems[i] = selem{v: v}
+	}
+	runs := segmentStream("table", elems, sk, leaves)
+	defs = append(defs, streamDef{kind: "table", runs: runs})
+	return defs
+}
+
+// emitStreams re-materializes the host program and IU table from the
+// stream definitions and the evaluated leaf values, consuming vals in
+// the same order extractStreams appended them.  Slices are sized
+// exactly up front, so emission is one append-free loop per run.
+func emitStreams(c *driver.Compiled, defs []streamDef, vals []int64, pos int) (int, error) {
+	c.Host = &hostgen.Program{
+		In:  map[w2.Channel][]hostgen.Word{},
+		Out: map[w2.Channel][]int{},
+	}
+	for _, def := range defs {
+		// First pass over this stream's leaves: total length.
+		total, p := int64(0), pos
+		for _, r := range def.runs {
+			if !r.lit {
+				p += 2
+			}
+			count := vals[p]
+			p++
+			if count < 0 {
+				return 0, fmt.Errorf("negative run count %d in stream %s %s", count, def.kind, def.ch)
+			}
+			total += count
+		}
+		switch def.kind {
+		case "in":
+			words := make([]hostgen.Word, total)
+			w := words
+			for _, r := range def.runs {
+				if r.lit {
+					count := vals[pos]
+					pos++
+					fill := hostgen.Word{Literal: true, Value: r.litVal}
+					for k := int64(0); k < count; k++ {
+						w[k] = fill
+					}
+					w = w[count:]
+					continue
+				}
+				start, stride, count := vals[pos], vals[pos+1], vals[pos+2]
+				pos += 3
+				for k := int64(0); k < count; k++ {
+					w[k] = hostgen.Word{Index: int(start + k*stride)}
+				}
+				w = w[count:]
+			}
+			c.Host.In[def.ch] = words
+		case "out":
+			out := make([]int, total)
+			w := out
+			for _, r := range def.runs {
+				if r.lit {
+					return 0, fmt.Errorf("literal run in output stream %s", def.ch)
+				}
+				start, stride, count := vals[pos], vals[pos+1], vals[pos+2]
+				pos += 3
+				for k := int64(0); k < count; k++ {
+					w[k] = int(start + k*stride)
+				}
+				w = w[count:]
+			}
+			c.Host.Out[def.ch] = out
+		case "table":
+			table := make([]int64, total)
+			w := table
+			for _, r := range def.runs {
+				if r.lit {
+					return 0, fmt.Errorf("literal run in IU table")
+				}
+				start, stride, count := vals[pos], vals[pos+1], vals[pos+2]
+				pos += 3
+				for k := int64(0); k < count; k++ {
+					w[k] = start + k*stride
+				}
+				w = w[count:]
+			}
+			c.IU.Table = table
+		}
+	}
+	return pos, nil
+}

@@ -1,0 +1,364 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"warp/internal/driver"
+	"warp/internal/mcode"
+	"warp/internal/w2"
+)
+
+// walker is the single canonical traversal of a compiled artifact.  It
+// runs in two modes over the same code path, which is what makes the
+// template sound: the leaves are extracted (read mode, during class
+// construction) and patched (write mode, during instantiation) in
+// exactly the same order, so a value can never be written back into a
+// different slot than it was fitted from.
+//
+// Read mode additionally renders every structural atom — opcodes,
+// registers, channels, loop identities, strings, floats — into the
+// skeleton string.  Two probe compiles belong to the same class iff
+// their skeletons are byte-equal; any structural drift across the grid
+// (a different unroll factor, an extra remainder loop, a shifted
+// schedule) makes the skeletons differ and demotes the class to
+// concrete compilation.
+type walker struct {
+	read bool
+
+	// Read mode: skeleton under construction and extracted leaves.
+	sk     strings.Builder
+	leaves []int64
+
+	// Write mode: the values to patch in, consumed in walk order.
+	vals []int64
+	pos  int
+	err  error
+
+	// Symbols are deduplicated: the first visit in walk order carries
+	// the symbol's numeric fields, later visits only its identity.
+	seen map[*w2.Symbol]bool
+}
+
+// num visits one numeric leaf: read mode records v, write mode returns
+// the patched value.  Callers assign the result back.
+func (w *walker) num(v int64) int64 {
+	if w.read {
+		w.leaves = append(w.leaves, v)
+		return v
+	}
+	if w.pos >= len(w.vals) {
+		w.fail("leaf underflow")
+		return v
+	}
+	x := w.vals[w.pos]
+	w.pos++
+	return x
+}
+
+func (w *walker) numInt(v int) int { return int(w.num(int64(v))) }
+
+// s records one structural atom into the skeleton (read mode only).
+func (w *walker) s(format string, args ...any) {
+	if w.read {
+		fmt.Fprintf(&w.sk, format, args...)
+		w.sk.WriteByte('\n')
+	}
+}
+
+// f records a float structurally, bit-exactly: a float that varies
+// across probes changes the skeleton and rejects the class (literal
+// values are not interpolated).
+func (w *walker) f(v float64) {
+	if w.read {
+		w.sk.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+		w.sk.WriteByte('\n')
+	}
+}
+
+func (w *walker) fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("symbolic: "+format, args...)
+	}
+}
+
+// walkCompiled traverses every fixed-shape numeric leaf of a compiled
+// artifact.  Variable-length artifacts — the host word streams and the
+// IU address table — are handled by the stream fitter instead
+// (streams.go); everything else a consumer or driver.Fingerprint can
+// observe is visited here.
+func walkCompiled(c *driver.Compiled, w *walker) {
+	w.s("module=%q cellid=%q backoff=%v reason=%q",
+		c.Module.Name, c.Module.Cells.CellID, c.PipelineBackoff, c.BackoffReason)
+	c.Cells = w.numInt(c.Cells)
+	c.Module.Cells.First = w.numInt(c.Module.Cells.First)
+	c.Module.Cells.Last = w.numInt(c.Module.Cells.Last)
+	c.Skew = w.num(c.Skew)
+	c.W2Lines = w.numInt(c.W2Lines)
+
+	// Host symbol table (memory layout).
+	w.s("hostsyms=%d", len(c.Info.HostSyms))
+	for _, sym := range c.Info.HostSyms {
+		w.sym(sym)
+	}
+	c.Info.HostSize = w.numInt(c.Info.HostSize)
+	c.Info.CellMemSize = w.numInt(c.Info.CellMemSize)
+
+	// Optimizer counters.
+	c.OptStats.CSE = w.numInt(c.OptStats.CSE)
+	c.OptStats.Folded = w.numInt(c.OptStats.Folded)
+	c.OptStats.Idempotent = w.numInt(c.OptStats.Idempotent)
+	c.OptStats.Rebalanced = w.numInt(c.OptStats.Rebalanced)
+	c.OptStats.Dead = w.numInt(c.OptStats.Dead)
+
+	w.cellItems(c.Cell.Items)
+	w.iuItems(c.IU.Items)
+
+	c.IUGen.Prologue = w.num(c.IUGen.Prologue)
+	c.IUGen.AddrRegs = w.numInt(c.IUGen.AddrRegs)
+	c.IUGen.Spilled = w.numInt(c.IUGen.Spilled)
+	c.IUGen.TableEntries = w.numInt(c.IUGen.TableEntries)
+
+	// Proven queue occupancy, in canonical channel order.
+	for _, ch := range sortedChans(c.QueueOcc) {
+		w.s("occ %s", ch)
+		c.QueueOcc[ch] = w.num(c.QueueOcc[ch])
+	}
+
+	// Scheduler introspection counters (wall-clock NS fields are
+	// measurements, not outputs; they keep the class-base values).
+	w.s("schedloops=%d", len(c.Sched.Loops))
+	for i := range c.Sched.Loops {
+		l := &c.Sched.Loops[i]
+		w.s("loopsched %q @%d pipelined=%v reason=%q", l.Loop, l.Line, l.Pipelined, l.Reason)
+		l.Trips = w.num(l.Trips)
+		l.MII = w.numInt(l.MII)
+		l.II = w.numInt(l.II)
+		l.Attempts = w.numInt(l.Attempts)
+		l.Placements = w.num(l.Placements)
+		l.Evictions = w.num(l.Evictions)
+		l.EmitRejects = w.numInt(l.EmitRejects)
+	}
+	w.s("skewsearches=%d", len(c.Sched.Skews))
+	for i := range c.Sched.Skews {
+		k := &c.Sched.Skews[i]
+		w.s("skewsearch %q method=%q", k.Channel, k.Method)
+		k.Ops = w.num(k.Ops)
+		k.Pairs = w.num(k.Pairs)
+		k.Pruned = w.num(k.Pruned)
+		k.Skew = w.num(k.Skew)
+	}
+
+	w.s("verified=%v", c.Verified != nil)
+	if rep := c.Verified; rep != nil {
+		rep.Cells = w.numInt(rep.Cells)
+		rep.Skew = w.num(rep.Skew)
+		rep.Lead = w.num(rep.Lead)
+		rep.Checked = w.numInt(rep.Checked)
+		rep.MemRefs = w.num(rep.MemRefs)
+		rep.Signals = w.num(rep.Signals)
+		for _, ch := range sortedChans(rep.Sends) {
+			w.s("sends %s", ch)
+			rep.Sends[ch] = w.num(rep.Sends[ch])
+		}
+		for _, ch := range sortedChans(rep.Recvs) {
+			w.s("recvs %s", ch)
+			rep.Recvs[ch] = w.num(rep.Recvs[ch])
+		}
+		for _, ch := range sortedChans(rep.Data) {
+			occ := rep.Data[ch]
+			w.s("vocc %s method=%q", ch, occ.Method)
+			occ.Max = w.num(occ.Max)
+			rep.Data[ch] = occ
+		}
+		w.s("adr method=%q sig method=%q", rep.Adr.Method, rep.Sig.Method)
+		rep.Adr.Max = w.num(rep.Adr.Max)
+		rep.Sig.Max = w.num(rep.Sig.Max)
+	}
+}
+
+func (w *walker) sym(s *w2.Symbol) {
+	if s == nil {
+		w.s("sym nil")
+		return
+	}
+	if w.seen[s] {
+		w.s("sym ref %q", s.Name)
+		return
+	}
+	w.seen[s] = true
+	w.s("sym %q kind=%d out=%v base=%d dims=%d", s.Name, s.Kind, s.Out, s.Type.Base, len(s.Type.Dims))
+	s.Base = w.numInt(s.Base)
+	for i := range s.Type.Dims {
+		s.Type.Dims[i] = w.numInt(s.Type.Dims[i])
+	}
+}
+
+// addr visits one address descriptor: base offset, affine coefficients
+// and software-pipelining deltas are leaves; the symbol identity, the
+// loop each term scales and the term order are structure.
+func (w *walker) addr(a *mcode.AddrInfo) {
+	w.sym(a.Sym)
+	a.Base = w.numInt(a.Base)
+	a.Affine.Const = w.num(a.Affine.Const)
+	w.s("terms=%d", len(a.Affine.Terms))
+	for i := range a.Affine.Terms {
+		t := &a.Affine.Terms[i]
+		w.s("term %q @%d", t.Var.Var, t.Var.Pos.Line)
+		t.Coef = w.num(t.Coef)
+	}
+	for _, loop := range sortedLoops(a.Delta) {
+		w.s("delta %q @%d", loop.Var, loop.Pos.Line)
+		a.Delta[loop] = w.num(a.Delta[loop])
+	}
+}
+
+func (w *walker) cellItems(items []mcode.CodeItem) {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *mcode.Straight:
+			w.s("straight=%d", len(it.Instrs))
+			for _, in := range it.Instrs {
+				w.instr(in)
+			}
+		case *mcode.LoopItem:
+			loopVar, loopLine := "", 0
+			if it.Src != nil {
+				loopVar, loopLine = it.Src.Var, it.Src.Pos.Line
+			}
+			w.s("loop L%d %q @%d", it.ID, loopVar, loopLine)
+			it.Trips = w.num(it.Trips)
+			it.First = w.num(it.First)
+			it.Step = w.num(it.Step)
+			w.cellItems(it.Body)
+			w.s("endloop L%d", it.ID)
+		default:
+			w.fail("unknown cell code item %T", it)
+		}
+	}
+}
+
+func (w *walker) instr(in *mcode.Instr) {
+	w.s("@%d", in.Pos.Line)
+	for _, alu := range []*mcode.AluOp{in.Add, in.Mul, in.Mov} {
+		if alu == nil {
+			w.s("alu nil")
+			continue
+		}
+		w.s("alu %s %s %s %s %s", alu.Code, alu.Dst, alu.Src[0], alu.Src[1], alu.Src[2])
+	}
+	for _, m := range in.Mem {
+		if m == nil {
+			w.s("mem nil")
+			continue
+		}
+		w.s("mem store=%v %s", m.Store, m.Reg)
+		w.addr(&m.Addr)
+	}
+	w.s("io=%d", len(in.IO))
+	for _, io := range in.IO {
+		w.s("io recv=%v %s %s %s ext=%v", io.Recv, io.Dir, io.Chan, io.Reg, io.Ext != nil)
+		if io.Ext != nil {
+			w.addr(io.Ext)
+		}
+		if io.ExtLiteral != nil {
+			w.f(*io.ExtLiteral)
+		} else {
+			w.s("extlit nil")
+		}
+		for _, loop := range sortedLoops(io.Delta) {
+			w.s("iodelta %q @%d", loop.Var, loop.Pos.Line)
+			io.Delta[loop] = w.num(io.Delta[loop])
+		}
+	}
+	if in.Lit != nil {
+		w.s("lit %s", in.Lit.Dst)
+		w.f(in.Lit.Value)
+	} else {
+		w.s("lit nil")
+	}
+}
+
+func (w *walker) iuItems(items []mcode.IUItem) {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *mcode.IUStraight:
+			w.s("iustraight=%d", len(it.Instrs))
+			for _, in := range it.Instrs {
+				w.iuInstr(in)
+			}
+		case *mcode.IULoop:
+			w.s("iuloop L%d", it.ID)
+			it.Trips = w.num(it.Trips)
+			w.iuItems(it.Body)
+			w.s("endiuloop L%d", it.ID)
+		default:
+			w.fail("unknown IU code item %T", it)
+		}
+	}
+}
+
+func (w *walker) iuInstr(in *mcode.IUInstr) {
+	if in.Alu != nil {
+		w.s("iualu sub=%v %s %s %s imm=%v", in.Alu.Sub, in.Alu.Dst, in.Alu.A, in.Alu.B, in.Alu.BIsImm)
+		in.Alu.ImmVal = w.num(in.Alu.ImmVal)
+	} else {
+		w.s("iualu nil")
+	}
+	if in.Imm != nil {
+		w.s("iuimm %s", in.Imm.Dst)
+		in.Imm.Value = w.num(in.Imm.Value)
+	} else {
+		w.s("iuimm nil")
+	}
+	for _, o := range in.Out {
+		if o == nil {
+			w.s("iuout nil")
+			continue
+		}
+		w.s("iuout table=%v %s", o.FromTable, o.Src)
+	}
+	if sig := in.Sig; sig != nil {
+		// The unroll factor M and the copy index are the class
+		// structure itself (they set the residue period); only the
+		// cell trip count a dynamic signal compares against is a leaf.
+		w.s("iusig L%d static=%v cont=%v copy=%d m=%d", sig.LoopID, sig.Static, sig.Continue, sig.Copy, sig.M)
+		if !sig.Static {
+			sig.CellTrips = w.num(sig.CellTrips)
+		}
+	} else {
+		w.s("iusig nil")
+	}
+	w.s("ctr=%v", in.CtrWork)
+}
+
+func sortedChans[V any](m map[w2.Channel]V) []w2.Channel {
+	chans := make([]w2.Channel, 0, len(m))
+	for ch := range m {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	return chans
+}
+
+// sortedLoops orders a delta map's loop keys by source identity (line,
+// then variable name), which is probe-independent: column positions can
+// shift when substituted literals change width, so they are never used.
+func sortedLoops(m map[*w2.ForStmt]int64) []*w2.ForStmt {
+	if len(m) == 0 {
+		return nil
+	}
+	loops := make([]*w2.ForStmt, 0, len(m))
+	for l := range m {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Pos.Line != loops[j].Pos.Line {
+			return loops[i].Pos.Line < loops[j].Pos.Line
+		}
+		return loops[i].Var < loops[j].Var
+	})
+	return loops
+}

@@ -18,6 +18,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "w2out", "output directory")
+	symbolic := flag.Bool("symbolic", false, "dump the ${...} symbolic template workloads instead")
 	flag.Parse()
 
 	// Sizes match what the examples and tests exercise: big enough to
@@ -31,6 +32,15 @@ func main() {
 		"mandelbrot": workloads.Mandelbrot(64, 4),
 		"matmul":     workloads.Matmul(8),
 		"fft":        workloads.FFT(64),
+	}
+	if *symbolic {
+		// The ${...} templates behind `w2c -symbolic`; see
+		// scripts/symbolic-sweep.sh.
+		programs = map[string]string{
+			"matmul-sym":     workloads.MatmulSym(),
+			"conv1d-sym":     workloads.Conv1DSym(),
+			"polynomial-sym": workloads.PolynomialSym(),
+		}
 	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Template-compile every ${...} symbolic example workload, instantiate
+# several bound vectors each (on and off the fitted residue lattice,
+# plain and pipelined), and differentially check every instantiation
+# against a from-scratch concrete compile — w2c -check exits 4 on any
+# byte difference, failing this script.  The service-layer template
+# cache has its own tests (internal/service); this is the CLI-level
+# smoke CI runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dump=$(mktemp -d)
+trap 'rm -rf "$dump"' EXIT
+
+go build -o "$dump/w2c" ./cmd/w2c
+go run ./scripts/dumpw2 -symbolic -dir "$dump/templates" >/dev/null
+
+bounds_for() {
+    case "$1" in
+        # The third vector sits off the fitted class's lattice (or in a
+        # fresh class), exercising the concrete-fallback / new-class
+        # paths, which must be byte-identical too.
+        matmul-sym)     echo "n=8 n=20 n=33" ;;
+        conv1d-sym)     echo "k=9,n=64 k=5,n=40 k=11,n=96" ;;
+        polynomial-sym) echo "ncoef=10,npoints=100 ncoef=6,npoints=48 ncoef=12,npoints=72" ;;
+        *) echo "unknown template $1" >&2; exit 1 ;;
+    esac
+}
+
+status=0
+for f in "$dump"/templates/*.w2; do
+    name=$(basename "$f" .w2)
+    for bounds in $(bounds_for "$name"); do
+        for flags in "" "-pipeline"; do
+            if out=$("$dump/w2c" -symbolic -bounds "$bounds" -check $flags "$f" 2>&1); then
+                echo "ok   $name $bounds $flags: $(echo "$out" | head -1)"
+            else
+                echo "FAIL $name $bounds $flags:" >&2
+                echo "$out" >&2
+                status=1
+            fi
+        done
+    done
+done
+if [ "$status" -eq 0 ]; then
+    echo "symbolic-sweep: PASS"
+else
+    echo "symbolic-sweep: FAIL" >&2
+fi
+exit $status

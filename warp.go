@@ -350,14 +350,22 @@ func (p *Program) SchedReport() string { return p.c.Sched.Report() }
 // programmer's model semantics, no compilation), for validating
 // simulated results.
 func (p *Program) Interpret(inputs map[string][]float64) (map[string][]float64, error) {
-	return interp.Run(p.c.Info, inputs)
+	info, err := p.c.FullInfo()
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(info, inputs)
 }
 
 // InterpretContext interprets like Interpret but aborts once ctx is
 // cancelled, so oracle runs on large problems respect the same
 // deadlines as the simulator.
 func (p *Program) InterpretContext(ctx context.Context, inputs map[string][]float64) (map[string][]float64, error) {
-	return interp.RunContext(ctx, p.c.Info, inputs)
+	info, err := p.c.FullInfo()
+	if err != nil {
+		return nil, err
+	}
+	return interp.RunContext(ctx, info, inputs)
 }
 
 // Metrics are the per-program compiler metrics of the paper's
